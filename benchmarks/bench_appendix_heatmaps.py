@@ -1,0 +1,78 @@
+"""Appendix B: link-utilization (Fig 11), loss-rate (Fig 12) and
+queueing-delay (Fig 13) heatmaps, plus Observations 9 and 10.
+
+All three derive from the same all-pairs sweep as Fig 2.
+"""
+
+from repro.analysis.heatmap import (
+    loss_grid,
+    queueing_delay_grid,
+    render_grid,
+    utilization_grid,
+)
+from repro.analysis.observations import observation9_utilization, observation10_loss
+
+from .harness import SETTINGS, full_sweep_store, heatmap_service_ids, report
+
+
+def test_fig11_link_utilization(benchmark):
+    store = benchmark.pedantic(full_sweep_store, rounds=1, iterations=1)
+    ids = heatmap_service_ids()
+    for name, network in SETTINGS.items():
+        grid = utilization_grid(store, ids, network.bandwidth_bps)
+        body = render_grid(
+            grid, ids, "median total link utilization (%)", scale=100
+        )
+        stats = observation9_utilization(store, ids, network.bandwidth_bps)
+        body += (
+            f"\nObservation 9: min {stats['min'] * 100:.0f}%, "
+            f"median {stats['median'] * 100:.0f}%, "
+            f">=95% in {stats['fraction_above_95'] * 100:.0f}% of pairs"
+        )
+        report(f"Fig 11 - link utilization heatmap, {name}", body)
+        # Most pairs keep the link busy.
+        assert stats["median"] > 0.9
+
+
+def test_fig12_loss_rates(benchmark):
+    store = benchmark.pedantic(full_sweep_store, rounds=1, iterations=1)
+    ids = heatmap_service_ids()
+    hc = SETTINGS["highly-constrained (8 Mbps)"]
+    for name, network in SETTINGS.items():
+        grid = loss_grid(store, ids, network.bandwidth_bps)
+        body = render_grid(
+            grid, ids, "median loss rate of the incumbent (%)",
+            scale=100, fmt="{:.1f}",
+        )
+        worst = observation10_loss(store, ids, network.bandwidth_bps)
+        ranked = sorted(worst, key=worst.get, reverse=True)
+        body += (
+            "\nObservation 10 - median loss induced per contender: "
+            + ", ".join(
+                f"{sid}={worst[sid] * 100:.1f}%" for sid in ranked[:4]
+            )
+        )
+        report(f"Fig 12 - loss rate heatmap, {name}", body)
+    # Single-flow BBR vs single-flow BBR: essentially no loss (Obs 10).
+    grid = loss_grid(store, ids, hc.bandwidth_bps)
+    assert grid[("dropbox", "gdrive")] < 0.005
+    # Mega is among the worst loss inducers at 8 Mbps.
+    worst = observation10_loss(store, ids, hc.bandwidth_bps)
+    ranked = sorted(worst, key=worst.get, reverse=True)
+    assert "mega" in ranked[:3]
+
+
+def test_fig13_queueing_delay(benchmark):
+    store = benchmark.pedantic(full_sweep_store, rounds=1, iterations=1)
+    ids = heatmap_service_ids()
+    for name, network in SETTINGS.items():
+        grid = queueing_delay_grid(store, ids, network.bandwidth_bps)
+        body = render_grid(
+            grid, ids, "median mean queueing delay of incumbent (ms)",
+            fmt="{:.0f}",
+        )
+        report(f"Fig 13 - queueing delay heatmap, {name}", body)
+    # Loss-based contenders stand far deeper queues than BBR ones.
+    hc = SETTINGS["highly-constrained (8 Mbps)"]
+    grid = queueing_delay_grid(store, ids, hc.bandwidth_bps)
+    assert grid[("iperf_cubic", "iperf_reno")] > grid[("dropbox", "gdrive")]

@@ -1,0 +1,89 @@
+"""Fig 6: page-load times under contention, both settings.
+
+Section 5.2 protocol (scaled): start the contender, give it a head start,
+then repeatedly load the page in a fresh browser and record the
+SpeedIndex-style PLT (95% of above-the-fold bytes).  Shape targets:
+contention roughly doubles (50 Mbps) / triples (8 Mbps) PLTs in the worst
+case; the image-heavy youtube.com page suffers most, text-heavy wikipedia
+least; BBR contenders hurt least at 50 Mbps.
+"""
+
+from repro import units
+from repro.core.stats import median
+from repro.core.testbed import Testbed
+
+from .harness import CATALOG, DURATION_SEC, SETTINGS, report
+
+PAGES = ["wikipedia", "news_google", "youtube_web"]
+CONTENDERS = [None, "mega", "netflix", "iperf_cubic", "dropbox"]
+
+#: Scaled Section 5.2 protocol.
+HEAD_START_USEC = units.seconds(6)
+LOAD_GAP_USEC = units.seconds(8)
+RUN_USEC = units.seconds(max(DURATION_SEC, 100.0))
+
+
+def _load_page(page_id, contender_id, seed=7):
+    testbed = Testbed(SETTINGS[_setting], seed=seed)
+    web = CATALOG.create(page_id, seed=seed + 1)
+    web.initial_delay_usec = HEAD_START_USEC
+    web.load_gap_usec = LOAD_GAP_USEC
+    testbed.add_service(web)
+    if contender_id is not None:
+        testbed.add_service(CATALOG.create(contender_id, seed=seed + 2))
+    testbed.start_all()
+    testbed.bell.run(RUN_USEC)
+    samples = web.plt_samples_sec()
+    return median(samples) if samples else float("nan")
+
+
+_setting = None
+
+
+def _measure_all():
+    global _setting
+    table = {}
+    for setting in SETTINGS:
+        _setting = setting
+        rows = {}
+        for page in PAGES:
+            rows[page] = {
+                contender or "(solo)": _load_page(page, contender)
+                for contender in CONTENDERS
+            }
+        table[setting] = rows
+    return table
+
+
+def test_fig06_page_load_times(benchmark):
+    table = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    lines = []
+    for setting, rows in table.items():
+        lines.append(f"{setting}: median PLT seconds (95% above-the-fold)")
+        header = f"  {'page':<12}" + "".join(
+            f"{(c or '(solo)')[:11]:>12}" for c in CONTENDERS
+        )
+        lines.append(header)
+        for page, by_contender in rows.items():
+            cells = "".join(
+                f"{by_contender[c or '(solo)']:>12.2f}" for c in CONTENDERS
+            )
+            lines.append(f"  {page:<12}{cells}")
+        lines.append("")
+    report("Fig 6 - Page load times under contention", "\n".join(lines))
+
+    hc = table["highly-constrained (8 Mbps)"]
+    # Contention inflates PLT; the worst case is large (paper: ~3x).
+    worst_ratio = max(
+        hc[page][c] / hc[page]["(solo)"]
+        for page in PAGES
+        for c in ("mega", "netflix", "iperf_cubic")
+    )
+    assert worst_ratio > 1.8
+    # youtube.com (image-heavy) suffers more seconds of delay than
+    # wikipedia (text) under the same worst contender.
+    yt_delta = max(hc["youtube_web"][c] - hc["youtube_web"]["(solo)"]
+                   for c in ("mega", "netflix"))
+    wiki_delta = max(hc["wikipedia"][c] - hc["wikipedia"]["(solo)"]
+                     for c in ("mega", "netflix"))
+    assert yt_delta > wiki_delta

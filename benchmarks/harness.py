@@ -1,0 +1,154 @@
+"""Shared machinery for the figure/table regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures as a text
+report.  Reports are collected here and emitted in the terminal summary
+(so they survive pytest's output capture), and also written to
+``benchmarks/results/``.
+
+Scaling: the paper runs 10-minute experiments with >=10 trials; these
+benches default to 80-second experiments with 3 trials so the entire
+harness finishes in tens of minutes on one core.  Override with::
+
+    PRUDENTIA_BENCH_DURATION=600 PRUDENTIA_BENCH_TRIALS=10 pytest benchmarks/
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.config import (
+    ExperimentConfig,
+    NetworkConfig,
+    highly_constrained,
+    moderately_constrained,
+)
+from repro.core.experiment import (
+    ExperimentResult,
+    run_pair_experiment,
+    run_solo_experiment,
+)
+from repro.core.results import ResultStore
+from repro.core.stats import median
+from repro.services.catalog import default_catalog
+
+DURATION_SEC = float(os.environ.get("PRUDENTIA_BENCH_DURATION", "80"))
+TRIALS = int(os.environ.get("PRUDENTIA_BENCH_TRIALS", "3"))
+
+CONFIG = ExperimentConfig().scaled(DURATION_SEC)
+#: Longer config for workloads that need steady state (video calibration).
+LONG_CONFIG = ExperimentConfig().scaled(max(DURATION_SEC, 120.0))
+
+HIGHLY = highly_constrained()
+MODERATELY = moderately_constrained()
+SETTINGS: Dict[str, NetworkConfig] = {
+    "highly-constrained (8 Mbps)": HIGHLY,
+    "moderately-constrained (50 Mbps)": MODERATELY,
+}
+
+CATALOG = default_catalog()
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Collected (title, body) report blocks, emitted at terminal summary.
+REPORTS: List[Tuple[str, str]] = []
+
+
+def report(title: str, body: str) -> None:
+    """Register a rendered table/figure for end-of-run emission."""
+    REPORTS.append((title, body))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(c if c.isalnum() else "_" for c in title.lower())[:60]
+    (RESULTS_DIR / f"{slug}.txt").write_text(f"{title}\n\n{body}\n")
+    print(f"\n=== {title} ===\n{body}\n")
+
+
+def run_trials(
+    contender_id: str,
+    incumbent_id: str,
+    network: NetworkConfig,
+    trials: int = TRIALS,
+    config: Optional[ExperimentConfig] = None,
+    base_seed: int = 1,
+    **kwargs,
+) -> List[ExperimentResult]:
+    """Run several seeded trials of one pair."""
+    return [
+        run_pair_experiment(
+            CATALOG.get(contender_id),
+            CATALOG.get(incumbent_id),
+            network,
+            config or CONFIG,
+            seed=base_seed + trial,
+            **kwargs,
+        )
+        for trial in range(trials)
+    ]
+
+
+def median_share(
+    results: Sequence[ExperimentResult], service_id: str
+) -> float:
+    """Median MmF share of a service over trials (handles #2 suffixes)."""
+    values = []
+    for result in results:
+        for sid, share in result.mmf_share.items():
+            if sid.split("#")[0] == service_id:
+                values.append(share)
+                break
+    return median(values)
+
+
+def median_throughput_mbps(
+    results: Sequence[ExperimentResult], service_id: str
+) -> float:
+    values = []
+    for result in results:
+        for sid, thr in result.throughput_bps.items():
+            if sid.split("#")[0] == service_id:
+                values.append(thr / 1e6)
+                break
+    return median(values)
+
+
+# ---------------------------------------------------------------------------
+# The all-pairs sweep shared by Fig 2 / 11 / 12 / 13 / Table 3
+# ---------------------------------------------------------------------------
+
+_SWEEP_STORE: Optional[ResultStore] = None
+
+
+def heatmap_service_ids() -> List[str]:
+    ids = CATALOG.heatmap_ids()
+    preferred = [
+        "youtube", "netflix", "vimeo",
+        "dropbox", "gdrive", "onedrive", "mega",
+        "iperf_bbr", "iperf_cubic", "iperf_reno",
+    ]
+    return [sid for sid in preferred if sid in ids]
+
+
+def full_sweep_store() -> ResultStore:
+    """All-pairs x both settings x TRIALS; computed once per session."""
+    global _SWEEP_STORE
+    if _SWEEP_STORE is not None:
+        return _SWEEP_STORE
+    store = ResultStore()
+    ids = heatmap_service_ids()
+    pairs = []
+    for i, a in enumerate(ids):
+        for b in ids[i:]:
+            pairs.append((a, b))
+    for name, network in SETTINGS.items():
+        for a, b in pairs:
+            for result in run_trials(a, b, network):
+                if result.valid:
+                    store.add(result)
+    _SWEEP_STORE = store
+    return store
+
+
+def fmt_pct(value: Optional[float]) -> str:
+    return "---" if value is None else f"{value * 100:.0f}"

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Section 3.3 hazard demo: headless automation corrupts measurements.
+
+The paper could only obtain realistic video traffic with a real browser on
+a GPU machine with a 4K monitor; headless clients silently request lower
+bitrates because players adapt to *perceived render capacity*, not just
+the network.  This example measures the same YouTube workload under three
+client environments and shows how the 'convenient' setups would have
+reported a completely different service.
+
+Usage::
+
+    python examples/application_fidelity.py
+"""
+
+import repro
+from repro import ClientEnvironment
+
+
+def main() -> None:
+    config = repro.ExperimentConfig().scaled(90)
+    catalog = repro.default_catalog()
+    network = repro.moderately_constrained()
+
+    environments = {
+        "faithful testbed (GPU + 4K monitor)": ClientEnvironment.faithful_testbed(),
+        "no hardware VP9 decode": ClientEnvironment(hardware_vp9_decode=False),
+        "headless (xvfb virtual display)": ClientEnvironment.headless_automation(),
+    }
+
+    print("YouTube solo at 50 Mbps under different client environments:\n")
+    print(f"{'client environment':<38} {'throughput':>11} {'render cap':>12}")
+    rates = {}
+    for label, env in environments.items():
+        result = repro.run_solo_experiment(
+            catalog.get("youtube"), network, config, seed=2, env=env
+        )
+        rate = result.throughput_mbps("youtube")
+        rates[label] = rate
+        cap = env.render_cap_bps
+        cap_str = "none" if cap is None else f"{cap / 1e6:.1f} Mbps"
+        print(f"{label:<38} {rate:>9.2f}Mb {cap_str:>12}")
+
+    faithful = rates["faithful testbed (GPU + 4K monitor)"]
+    headless = rates["headless (xvfb virtual display)"]
+    print(
+        f"\nThe headless client measured {headless / faithful * 100:.0f}% of the "
+        f"faithful client's throughput for the *same* service and network -"
+        f"\nwhich is why the paper calls headless video automation a threat "
+        f"to the validity of fairness experiments."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Beyond pairwise testing (Section 9): one service vs several at once.
+
+The paper closes by asking whether services that compete fairly one-on-one
+stay fair against *multiple* competitors, citing the known result that a
+single BBRv1 flow can hold close to half the link against many loss-based
+flows.  This example reproduces exactly that check: one iPerf BBR flow
+against one, then three NewReno competitors.
+
+Usage::
+
+    python examples/beyond_pairwise.py
+"""
+
+import repro
+from repro.core import run_multi_experiment
+
+
+def main() -> None:
+    catalog = repro.default_catalog()
+    config = repro.ExperimentConfig().scaled(90)
+    network = repro.highly_constrained()
+
+    for n_renos in (1, 3):
+        specs = [catalog.get("iperf_bbr")] + [
+            catalog.get("iperf_reno")
+        ] * n_renos
+        result = run_multi_experiment(specs, network, config, seed=6)
+        bbr = result.throughput_bps["iperf_bbr"]
+        total = sum(result.throughput_bps.values())
+        flow_share = 1 / (1 + n_renos)
+        print(
+            f"BBR vs {n_renos} NewReno flow(s): BBR holds "
+            f"{bbr / total * 100:.0f}% of the link "
+            f"(its per-flow 'fair' share would be {flow_share * 100:.0f}%)"
+        )
+        for sid in result.throughput_bps:
+            print(
+                f"    {sid:<16} {result.throughput_bps[sid] / 1e6:6.2f} Mbps "
+                f"({result.mmf_share[sid] * 100:5.0f}% of MmF)"
+            )
+
+    print(
+        "\nSection 9's point: pairwise fairness does not predict behaviour "
+        "against a crowd - BBR's model-based share barely shrinks as "
+        "loss-based competitors are added."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Watch Mega's batch bursts on the bottleneck queue (Fig 4 / Fig 8).
+
+Runs Mega against a NewReno bulk flow at 50 Mbps with packet tracing on,
+then renders terminal sparklines of each service's throughput and of the
+bottleneck queue occupancy, showing the batch/barrier burst structure.
+
+Usage::
+
+    python examples/mega_bursts.py
+"""
+
+import repro
+from repro import units
+from repro.analysis.timeseries import (
+    queue_occupancy_timeseries,
+    render_sparkline,
+    throughput_timeseries,
+)
+from repro.core.testbed import Testbed
+
+
+def main() -> None:
+    catalog = repro.default_catalog()
+    network = repro.moderately_constrained()
+    testbed = Testbed(network, seed=7, trace_packets=True)
+    testbed.add_service(catalog.create("mega", seed=1))
+    testbed.add_service(catalog.create("iperf_reno", seed=2))
+    testbed.start_all()
+
+    print("simulating 60 seconds of Mega vs iPerf (NewReno) at 50 Mbps...")
+    testbed.bell.run(units.seconds(60))
+
+    for sid in ("mega", "iperf_reno"):
+        times, rates = throughput_timeseries(
+            testbed.bell.trace, sid, bin_ms=250
+        )
+        peak = max(rates)
+        print(f"\n{sid} throughput (0..{peak:.0f} Mbps, 250 ms bins):")
+        print(" " + render_sparkline(rates, width=100))
+
+    _t, occupancy = queue_occupancy_timeseries(testbed.bell.queue_log)
+    print(f"\nqueue occupancy (0..{max(occupancy)} of "
+          f"{network.queue_packets} packets):")
+    print(" " + render_sparkline(occupancy, width=100))
+
+    drops = testbed.bell.queue.drops
+    print(f"\ndrops: {drops}")
+    print("Each Mega batch opens with five synchronized flows bursting "
+          "into the queue; the barrier and decrypt gap between batches "
+          "drains it again (Observation 4).")
+
+
+if __name__ == "__main__":
+    main()

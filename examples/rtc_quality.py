@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Beyond throughput: what a video call feels like under contention.
+
+Reproduces the Section 5.1 experience: Google Meet and Microsoft Teams
+each compete against a Cubic bulk download at 8 Mbps, and we report the
+Table-2 QoE metrics - resolution, FPS, freezes/minute, and the fraction
+of packets violating the ITU 190 ms RTT requirement.
+
+Usage::
+
+    python examples/rtc_quality.py
+"""
+
+import repro
+
+
+def main() -> None:
+    config = repro.ExperimentConfig().scaled(60)
+    catalog = repro.default_catalog()
+    network = repro.highly_constrained()
+
+    print("8 Mbps bottleneck, contender: iPerf (Cubic) bulk download\n")
+    print(f"{'service':<18} {'resolution':>10} {'fps':>6} {'freezes/min':>12} "
+          f"{'high-delay pkts':>16}")
+
+    for rtc_id in ("meet", "teams"):
+        result = repro.run_pair_experiment(
+            catalog.get(rtc_id),
+            catalog.get("iperf_cubic"),
+            network,
+            config,
+            seed=3,
+        )
+        m = result.service_metrics[rtc_id]
+        print(
+            f"{catalog.get(rtc_id).display_name:<18} "
+            f"{m['resolution_p']:>9.0f}p {m['avg_fps']:>6.1f} "
+            f"{m['freezes_per_minute']:>12.1f} "
+            f"{m['fraction_high_delay'] * 100:>15.0f}%"
+        )
+
+    print(
+        "\nObservation 5: Meet gives up resolution to protect frame rate; "
+        "Teams holds resolution and pays in FPS and freezes."
+        "\nObservation 6: the loss-based contender's standing queue pushes "
+        "most RTC packets past the ITU 190 ms budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

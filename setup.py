@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package, so PEP 660 editable installs
+(which need ``bdist_wheel``) fail; ``pip install -e . --no-build-isolation``
+falls back to ``setup.py develop`` through this shim.  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Prudentia: an Internet fairness watchdog, reproduced in simulation.
+
+Reproduction of "Prudentia: Findings of an Internet Fairness Watchdog"
+(SIGCOMM 2024).  The public API mirrors how the live system is used:
+
+    >>> import repro
+    >>> watchdog = repro.Prudentia(
+    ...     experiment_config=repro.ExperimentConfig().scaled(60),
+    ... )
+    >>> result = repro.run_pair_experiment(
+    ...     watchdog.catalog.get("youtube"),
+    ...     watchdog.catalog.get("iperf_cubic"),
+    ...     repro.highly_constrained(),
+    ...     watchdog.experiment_config,
+    ... )
+    >>> 0 <= result.mmf_share["youtube"]
+    True
+
+Subpackages: ``netsim`` (the BESS-substitute network emulator),
+``transport`` (reliable flows), ``cca`` (congestion controllers),
+``services`` (Table-1 workloads), ``browser`` (client fidelity),
+``core`` (the watchdog), ``analysis`` (figures and observations).
+"""
+
+from . import units
+from .config import (
+    ExperimentConfig,
+    NetworkConfig,
+    TrialPolicyConfig,
+    highly_constrained,
+    moderately_constrained,
+    trial_policy_for,
+)
+from .core import (
+    ExperimentResult,
+    FairnessReport,
+    Prudentia,
+    ResultStore,
+    SubmissionPortal,
+    Testbed,
+    TrialPolicy,
+    run_pair_experiment,
+    run_solo_experiment,
+)
+from .services import ServiceCatalog, default_catalog
+from .browser import ClientEnvironment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    "ExperimentConfig",
+    "NetworkConfig",
+    "TrialPolicyConfig",
+    "highly_constrained",
+    "moderately_constrained",
+    "trial_policy_for",
+    "ExperimentResult",
+    "FairnessReport",
+    "Prudentia",
+    "ResultStore",
+    "SubmissionPortal",
+    "Testbed",
+    "TrialPolicy",
+    "run_pair_experiment",
+    "run_solo_experiment",
+    "ServiceCatalog",
+    "default_catalog",
+    "ClientEnvironment",
+    "__version__",
+]

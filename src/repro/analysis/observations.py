@@ -1,0 +1,119 @@
+"""The paper's numbered Observations, computed from measured results.
+
+Each function distils one of the paper's findings (Section 4/5) from a
+:class:`~repro.core.results.ResultStore`, so benchmarks and tests can
+check the *shape* of the reproduction against the paper's claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.report import FairnessReport
+from ..core.results import ResultStore
+from ..core.stats import median
+from .heatmap import grid_from_store
+
+
+def observation1_unfairness(
+    store: ResultStore,
+    service_ids: Sequence[str],
+    bandwidth_bps: float,
+) -> Dict[str, float]:
+    """Obs 1: unfair outcomes are common; losing-service share statistics.
+
+    The paper reports (highly-constrained): median losing share 69%, 73%
+    of losers at <=90%, 22% at <=50%; and 86% median in the
+    moderately-constrained setting.
+    """
+    report = FairnessReport(store, service_ids, bandwidth_bps)
+    return report.losing_service_stats()
+
+
+def observation2_cca_is_not_destiny(
+    store: ResultStore,
+    service_ids: Sequence[str],
+    bandwidth_bps: float,
+    bbr_backed: Sequence[str] = ("mega", "youtube"),
+) -> Dict[str, float]:
+    """Obs 2: services sharing a CCA family diverge in contentiousness.
+
+    Returns each named BBR-backed service's contentiousness score (mean
+    share competitors achieve against it); the paper's point is that the
+    spread between them is large despite the common CCA.
+    """
+    report = FairnessReport(store, service_ids, bandwidth_bps)
+    scores = report.contentiousness()
+    return {sid: scores[sid] for sid in bbr_backed if sid in scores}
+
+
+def observation9_utilization(
+    store: ResultStore,
+    service_ids: Sequence[str],
+    bandwidth_bps: float,
+) -> Dict[str, float]:
+    """Obs 9: utilization summary - most pairs >=95%, some pairs waste.
+
+    Returns {'min': ..., 'median': ..., 'fraction_above_95': ...} over the
+    pairwise median utilizations.
+    """
+    grid = grid_from_store(
+        store, service_ids, bandwidth_bps, lambda trial, key: trial.utilization
+    )
+    values = [v for v in grid.values() if v is not None]
+    if not values:
+        return {}
+    return {
+        "min": min(values),
+        "median": median(values),
+        "fraction_above_95": sum(1 for v in values if v >= 0.95) / len(values),
+    }
+
+
+def observation10_loss(
+    store: ResultStore,
+    service_ids: Sequence[str],
+    bandwidth_bps: float,
+) -> Dict[str, float]:
+    """Obs 10: loss each contender typically induces on incumbents.
+
+    The paper: Mega induces the most loss (~8% at 8 Mbps), Netflix ~4%,
+    single-flow BBR vs single-flow BBR none.  We aggregate with the
+    *median* across incumbents rather than the max: bursty incumbents
+    (Mega itself) drop many of their own packets against any contender,
+    and the max would credit that self-inflicted loss to the contender.
+    """
+    grid = grid_from_store(
+        store, service_ids, bandwidth_bps,
+        lambda trial, key: trial.loss_rate[key],
+    )
+    per_contender: Dict[str, List[float]] = {}
+    for (contender, incumbent), value in grid.items():
+        if value is None or contender == incumbent:
+            continue
+        per_contender.setdefault(contender, []).append(value)
+    return {
+        contender: median(values)
+        for contender, values in per_contender.items()
+    }
+
+
+def instability_by_pair(
+    store: ResultStore,
+    service_ids: Sequence[str],
+    bandwidth_bps: float,
+) -> Dict[str, float]:
+    """Obs 15 helper: per-pair spread (IQR width / median) of throughput."""
+    from ..core.stats import iqr
+
+    spreads: Dict[str, float] = {}
+    for incumbent in service_ids:
+        for contender in service_ids:
+            samples = store.throughputs_bps(incumbent, contender, bandwidth_bps)
+            if len(samples) < 3:
+                continue
+            q25, q75 = iqr(samples)
+            mid = median(samples)
+            if mid > 0:
+                spreads[f"{incumbent} vs {contender}"] = (q75 - q25) / mid
+    return spreads

@@ -1,0 +1,113 @@
+"""Website-style report generation (the internetfairness.net front page).
+
+The live deployment publishes its current findings as a web page: the
+heatmaps, the winner/loser headline numbers, rankings, and notable
+anomalies.  This module renders the same report as Markdown from a result
+store, so a simulated deployment can publish its findings the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.report import FairnessReport
+from ..core.results import ResultStore
+from .heatmap import mmf_share_grid, render_grid
+
+
+def render_markdown_report(
+    store: ResultStore,
+    service_ids: Sequence[str],
+    bandwidths_bps: Sequence[float],
+    title: str = "Prudentia - Internet Fairness Watchdog",
+) -> str:
+    """Render a full findings page for the measured settings."""
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(
+        "Live all-pairs fairness measurements. Cells show the median "
+        "percentage of its max-min fair share an incumbent service "
+        "achieved against each contender; 100 = exactly fair."
+    )
+    for bandwidth in bandwidths_bps:
+        label = f"{bandwidth / 1e6:.0f} Mbps"
+        report = FairnessReport(store, list(service_ids), bandwidth)
+        stats = report.losing_service_stats()
+        if not stats:
+            continue
+        lines.append("")
+        lines.append(f"## {label} bottleneck")
+        lines.append("")
+        lines.append("```")
+        grid = mmf_share_grid(store, service_ids, bandwidth)
+        lines.append(
+            render_grid(
+                grid,
+                service_ids,
+                "median % of incumbent MmF share (rows = contender)",
+                scale=100,
+            )
+        )
+        lines.append("```")
+        lines.append("")
+        lines.append(
+            f"- median losing share: "
+            f"**{stats['median_losing_share'] * 100:.0f}%** "
+            f"({stats['fraction_below_90pct'] * 100:.0f}% of losers below "
+            f"90%, {stats['fraction_below_50pct'] * 100:.0f}% below 50%)"
+        )
+        most = report.most_contentious()
+        least = report.least_contentious()
+        if most and least:
+            lines.append(
+                f"- most contentious service: **{most}**; "
+                f"least contentious: **{least}**"
+            )
+        selfs = report.self_competition_shares()
+        if selfs:
+            mean_self = sum(selfs.values()) / len(selfs)
+            lines.append(
+                f"- self-competition mean share: {mean_self * 100:.0f}%"
+            )
+        worst = _worst_cells(report, service_ids)
+        if worst:
+            lines.append("- worst interactions:")
+            for contender, incumbent, share in worst:
+                lines.append(
+                    f"    - {incumbent} gets {share * 100:.0f}% of its "
+                    f"fair share against {contender}"
+                )
+        triples = report.find_non_transitive_triples(
+            unfair_below=0.8, fair_above=0.92
+        )
+        if triples:
+            t = triples[0]
+            lines.append(
+                f"- non-transitivity example: {t.alpha} vs {t.beta} "
+                f"({t.beta_vs_alpha * 100:.0f}%), {t.beta} vs {t.gamma} "
+                f"({t.gamma_vs_beta * 100:.0f}%), yet {t.gamma} vs "
+                f"{t.alpha} = {t.gamma_vs_alpha * 100:.0f}%"
+            )
+    lines.append("")
+    lines.append(
+        "Per-experiment artifacts (queue logs, packet traces, raw trial "
+        "records) are published alongside this page."
+    )
+    return "\n".join(lines)
+
+
+def _worst_cells(
+    report: FairnessReport,
+    service_ids: Sequence[str],
+    limit: int = 3,
+) -> List[tuple]:
+    """The lowest incumbent shares across all cross pairs."""
+    cells = []
+    for contender in service_ids:
+        for incumbent in service_ids:
+            if contender == incumbent:
+                continue
+            share = report.median_share(incumbent, contender)
+            if share is not None:
+                cells.append((contender, incumbent, share))
+    cells.sort(key=lambda cell: cell[2])
+    return cells[:limit]

@@ -1,0 +1,83 @@
+"""Selenium/Chrome automation facade.
+
+The paper drives every service through Google Chrome controlled by
+Selenium, wiping cookies and cache between experiments so that every byte
+is fetched over the network.  This module reproduces those mechanics for
+the simulated services: a driver that opens sessions, tracks profile state
+(cache/cookies), and refuses to start a session with a dirty profile
+unless explicitly allowed - encoding the methodology as an API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..services.base import Service
+from .environment import ClientEnvironment
+
+
+@dataclass
+class BrowserSession:
+    """One Chrome instance bound to one service workload."""
+
+    service: Service
+    environment: ClientEnvironment
+    started_at_usec: Optional[int] = None
+    closed: bool = False
+
+
+@dataclass
+class _Profile:
+    """Browser profile state: what persists between sessions."""
+
+    cache_entries: int = 0
+    cookies: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        return self.cache_entries == 0 and self.cookies == 0
+
+
+class ChromeDriver:
+    """Drives simulated browser sessions with the paper's hygiene rules."""
+
+    def __init__(
+        self,
+        environment: Optional[ClientEnvironment] = None,
+        require_clean_profile: bool = True,
+    ) -> None:
+        self.environment = environment or ClientEnvironment.faithful_testbed()
+        self.require_clean_profile = require_clean_profile
+        self.sessions: List[BrowserSession] = []
+        self._profile = _Profile()
+
+    def wipe_profile(self) -> None:
+        """Delete cookies and cached data (between-experiment reset)."""
+        self._profile = _Profile()
+
+    def open(
+        self,
+        service_factory: Callable[[ClientEnvironment], Service],
+    ) -> BrowserSession:
+        """Open a session running ``service_factory``'s workload.
+
+        The factory receives the client environment so that video services
+        can wire the render cap into their ABR (Section 3.3).
+        """
+        if self.require_clean_profile and not self._profile.is_clean:
+            raise RuntimeError(
+                "profile has residual cache/cookies; call wipe_profile() "
+                "before starting a new experiment (methodology requirement)"
+            )
+        service = service_factory(self.environment)
+        session = BrowserSession(service=service, environment=self.environment)
+        self.sessions.append(session)
+        # Loading anything dirties the profile for the *next* experiment.
+        self._profile.cache_entries += 1
+        self._profile.cookies += 1
+        return session
+
+    def close(self, session: BrowserSession) -> None:
+        """Close a session (Chrome instance teardown)."""
+        session.closed = True

@@ -1,0 +1,66 @@
+"""Client rendering environment and its effect on bitrate selection.
+
+The paper's testbed needed Mac Minis with desktop GPUs, native VP9 decode,
+and a real 4K HDMI monitor before video clients would request their top
+bitrates; headless output (xvfb-style virtual devices) or missing hardware
+decode made clients silently cap their bitrate ladder.  This model turns
+those findings into an explicit render capacity that video services feed
+into their ABR as a ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import units
+
+
+@dataclass(frozen=True)
+class ClientEnvironment:
+    """The hardware/automation configuration of the measurement client.
+
+    Attributes:
+        headless: rendering to a virtual device (xvfb) instead of a real
+            display - the configuration the paper warns is a threat to
+            validity.
+        gpu: a desktop-class GPU is present.
+        hardware_vp9_decode: the GPU supports native VP9 decode.
+        monitor_4k: a physical 4K monitor is connected over real HDMI.
+    """
+
+    headless: bool = False
+    gpu: bool = True
+    hardware_vp9_decode: bool = True
+    monitor_4k: bool = True
+
+    @classmethod
+    def faithful_testbed(cls) -> "ClientEnvironment":
+        """The paper's validated configuration (full render capacity)."""
+        return cls()
+
+    @classmethod
+    def headless_automation(cls) -> "ClientEnvironment":
+        """The convenient-but-wrong configuration (Section 3.3 hazard)."""
+        return cls(headless=True, gpu=False, hardware_vp9_decode=False, monitor_4k=False)
+
+    @property
+    def render_cap_bps(self) -> Optional[float]:
+        """Maximum bitrate the client believes it can render.
+
+        ``None`` means unrestricted (the client can decode the full
+        ladder).  The specific caps are modelled after the paper's
+        anecdotes: headless clients stay near SD bitrates, software decode
+        tops out below 4K.
+        """
+        if self.headless:
+            return units.mbps(1.2)
+        if not self.gpu or not self.hardware_vp9_decode:
+            return units.mbps(4.5)
+        if not self.monitor_4k:
+            return units.mbps(8.0)
+        return None
+
+    @property
+    def is_render_limited(self) -> bool:
+        return self.render_cap_bps is not None

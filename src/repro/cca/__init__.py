@@ -1,0 +1,34 @@
+"""Congestion-control algorithms implemented from scratch.
+
+Loss-based (NewReno, Cubic), model-based (BBRv1 in its Linux-4.15,
+Linux-5.15 and YouTube-QUIC parameterisations, BBRv3) and delay-based RTC
+controllers (GCC, a Teams-like controller), plus an active classifier that
+reproduces the paper's CCAnalyzer step.
+"""
+
+from .base import CongestionControl
+from .reno import NewReno
+from .cubic import Cubic
+from .vegas import Vegas
+from .bbr import BBRv1, BBRParams, BBR_LINUX_4_15, BBR_LINUX_5_15, BBR_YOUTUBE_QUIC_2023
+from .bbrv3 import BBRv3
+from .gcc import GoogleCongestionControl
+from .teams import TeamsRateController
+from .classifier import CCAClassifier, classify_cca
+
+__all__ = [
+    "CongestionControl",
+    "NewReno",
+    "Cubic",
+    "Vegas",
+    "BBRv1",
+    "BBRParams",
+    "BBR_LINUX_4_15",
+    "BBR_LINUX_5_15",
+    "BBR_YOUTUBE_QUIC_2023",
+    "BBRv3",
+    "GoogleCongestionControl",
+    "TeamsRateController",
+    "CCAClassifier",
+    "classify_cca",
+]

@@ -1,0 +1,68 @@
+"""The congestion-control interface consumed by ``transport.Connection``.
+
+A controller exposes a congestion window (in packets) and an optional
+pacing rate; the connection calls back into it on sends, ACKs, loss events
+(once per recovery episode), RTOs, and idle restarts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..transport.rate_sampler import RateSample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..netsim.packet import Packet
+    from ..transport.connection import Connection
+
+
+class CongestionControl:
+    """Base congestion controller: fixed window, no pacing.
+
+    Subclasses override the event hooks and the two control outputs
+    (:attr:`cwnd_packets`, :attr:`pacing_rate_bps`).  The base class is a
+    usable 'fixed window' controller, handy in tests.
+    """
+
+    name = "fixed"
+
+    def __init__(self, cwnd_packets: float = 10.0) -> None:
+        self._cwnd = float(cwnd_packets)
+
+    # --- control outputs -------------------------------------------------
+
+    @property
+    def cwnd_packets(self) -> float:
+        """Congestion window in packets."""
+        return self._cwnd
+
+    @property
+    def pacing_rate_bps(self) -> Optional[float]:
+        """Pacing rate in bits/sec, or None for pure ACK clocking."""
+        return None
+
+    # --- event hooks ------------------------------------------------------
+
+    def on_connection_init(self, conn: "Connection") -> None:
+        """Connection attached; capture whatever per-flow state is needed."""
+
+    def on_sent(self, conn: "Connection", packet: "Packet") -> None:
+        """A data packet entered the network."""
+
+    def on_ack(
+        self,
+        conn: "Connection",
+        packet: "Packet",
+        rtt_usec: int,
+        rate_sample: RateSample,
+    ) -> None:
+        """A data packet was cumulatively/selectively acknowledged."""
+
+    def on_loss_event(self, conn: "Connection", now: int) -> None:
+        """Entering a loss-recovery episode (fires once per episode)."""
+
+    def on_rto(self, conn: "Connection", now: int) -> None:
+        """Retransmission timeout fired."""
+
+    def on_idle_restart(self, conn: "Connection", idle_usec: int) -> None:
+        """Sender resumes after an application-limited idle period."""

@@ -1,0 +1,76 @@
+"""BBRv3: BBR with an explicit loss response and shallower drains.
+
+Modelled after the IETF ccwg BBRv3 presentation the paper cites for Google
+Drive's 2023 deployment: the probe-down gain is 0.9 instead of 0.75, the
+cwnd gain is slightly higher, and - the key difference - loss events bound
+inflight via an ``inflight_hi`` ceiling that is cut multiplicatively on
+loss and regrown while probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .bbr import BBRv1, BBRParams, BBR_LINUX_5_15
+from ..transport.rate_sampler import RateSample
+
+BBRV3_PARAMS: BBRParams = replace(
+    BBR_LINUX_5_15,
+    label="bbrv3",
+    pacing_gain_down=0.9,
+    cwnd_gain_probe=2.25,
+)
+
+#: Multiplicative decrease applied to inflight_hi on a loss event.
+LOSS_BETA = 0.7
+
+#: Headroom kept below inflight_hi while cruising (not probing up).
+HEADROOM = 0.85
+
+#: Per-probing-round regrowth of inflight_hi.
+PROBE_GROWTH = 1.25
+
+
+class BBRv3(BBRv1):
+    """BBRv1 machinery plus the v3 loss-bounded inflight model."""
+
+    name = "bbrv3"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(params=BBRV3_PARAMS, seed=seed)
+        self.name = "bbrv3"
+        self._inflight_hi = float("inf")
+        self._last_loss_round = -1
+
+    def on_loss_event(self, conn, now: int) -> None:
+        super().on_loss_event(conn, now)
+        reference = max(float(conn.inflight_packets), self._bdp_packets())
+        floor = self.params.min_cwnd_packets
+        self._inflight_hi = max(floor, LOSS_BETA * reference)
+        self._last_loss_round = self._round_count
+
+    def on_ack(self, conn, packet, rtt_usec: int, rate_sample: RateSample) -> None:
+        super().on_ack(conn, packet, rtt_usec, rate_sample)
+        # Regrow the ceiling while probing up cleanly (no loss this round).
+        if (
+            self._inflight_hi != float("inf")
+            and self._round_start
+            and self._cycle_index == 0
+            and self._round_count > self._last_loss_round
+        ):
+            self._inflight_hi *= PROBE_GROWTH
+            if self._inflight_hi > 4 * self._bdp_packets(self.params.cwnd_gain_probe):
+                self._inflight_hi = float("inf")
+
+    def _update_cwnd(self, conn) -> None:
+        super()._update_cwnd(conn)
+        if self._inflight_hi == float("inf"):
+            return
+        if self._state == "probe_rtt":
+            return
+        bound = self._inflight_hi
+        if self._cycle_index != 0:
+            bound *= HEADROOM
+        self._cwnd = max(
+            min(self._cwnd, bound), self.params.min_cwnd_packets
+        )

@@ -1,0 +1,104 @@
+"""TCP Cubic (RFC 8312), including fast convergence and the
+TCP-friendly (Reno-emulation) region.
+
+Cubic is OneDrive's CCA per Table 1 (Microsoft's 'extended' variant is
+modelled at the service level as a server-side rate cap on top of this
+implementation) and the ``iPerf (Cubic)`` baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import units
+from ..transport.connection import INITIAL_WINDOW
+from ..transport.rate_sampler import RateSample
+from .base import CongestionControl
+
+_MIN_CWND = 2.0
+
+
+class Cubic(CongestionControl):
+    """Cubic window growth: W(t) = C*(t-K)^3 + W_max."""
+
+    name = "cubic"
+
+    #: RFC 8312 constants.
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, initial_cwnd: float = INITIAL_WINDOW) -> None:
+        super().__init__(initial_cwnd)
+        self.ssthresh = float("inf")
+        self.w_max = 0.0
+        self._epoch_start_usec: Optional[int] = None
+        self._k_sec = 0.0
+        self._origin_point = 0.0
+        self._ack_count = 0.0
+        self._w_est = 0.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._cwnd < self.ssthresh
+
+    @property
+    def pacing_rate_bps(self) -> Optional[float]:
+        return None
+
+    def _reset_epoch(self, now: int) -> None:
+        self._epoch_start_usec = now
+        if self._cwnd < self.w_max:
+            self._k_sec = ((self.w_max - self._cwnd) / self.C) ** (1.0 / 3.0)
+            self._origin_point = self.w_max
+        else:
+            self._k_sec = 0.0
+            self._origin_point = self._cwnd
+        self._ack_count = 0.0
+        self._w_est = self._cwnd
+
+    def on_ack(self, conn, packet, rtt_usec: int, rate_sample: RateSample) -> None:
+        if conn.in_recovery:
+            return
+        if self.in_slow_start:
+            self._cwnd += 1.0
+            return
+        now = conn.engine.now
+        if self._epoch_start_usec is None:
+            self._reset_epoch(now)
+        t_sec = (now - self._epoch_start_usec) / units.USEC_PER_SEC
+        rtt_sec = max(rtt_usec, 1) / units.USEC_PER_SEC
+        # Cubic target one RTT in the future.
+        offs = t_sec + rtt_sec - self._k_sec
+        w_cubic = self.C * offs * offs * offs + self._origin_point
+        # TCP-friendly region (RFC 8312 section 4.2).
+        self._ack_count += 1.0
+        self._w_est = self._w_est + (
+            3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+        ) / self._cwnd
+        target = max(w_cubic, self._w_est)
+        if target > self._cwnd:
+            self._cwnd += (target - self._cwnd) / self._cwnd
+        else:
+            # Max-probing region: grow very slowly to probe for bandwidth.
+            self._cwnd += 0.01 / self._cwnd
+
+    def on_loss_event(self, conn, now: int) -> None:
+        self._epoch_start_usec = None
+        if self._cwnd < self.w_max:
+            # Fast convergence: release bandwidth faster when the window
+            # stopped short of its previous maximum.
+            self.w_max = self._cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self.w_max = self._cwnd
+        self._cwnd = max(self._cwnd * self.BETA, _MIN_CWND)
+        self.ssthresh = self._cwnd
+
+    def on_rto(self, conn, now: int) -> None:
+        self._epoch_start_usec = None
+        self.w_max = self._cwnd
+        self.ssthresh = max(self._cwnd * self.BETA, _MIN_CWND)
+        self._cwnd = 1.0
+
+    def on_idle_restart(self, conn, idle_usec: int) -> None:
+        self._cwnd = min(self._cwnd, float(INITIAL_WINDOW))
+        self._epoch_start_usec = None

@@ -1,0 +1,79 @@
+"""A Teams-like RTC rate controller.
+
+Table 1 lists Microsoft Teams' CCA as *Unknown*; what the paper observes
+behaviourally (Observation 5) is that Teams holds video resolution longer
+than Meet but pays for it with lower frame rates and more freezes under
+contention.  We model the congestion-control half of that trade-off here: a
+controller that is slower to back off (less delay-sensitive, loss-driven)
+and slower to ramp than GCC.  The FPS-sacrificing half lives in the RTC
+service's adaptation policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import units
+from .gcc import DelayGradientDetector, NORMAL, OVERUSE
+
+
+class TeamsRateController:
+    """Sluggish, loss-leaning RTC rate controller."""
+
+    name = "teams-cc"
+
+    #: Milder backoff than GCC's 0.85, and only after sustained overuse.
+    BACKOFF = 0.92
+    RAMP_PER_SEC = 1.05
+
+    def __init__(
+        self,
+        min_rate_bps: float = units.mbps(0.25),
+        max_rate_bps: float = units.mbps(2.6),
+        start_rate_bps: Optional[float] = None,
+    ) -> None:
+        if min_rate_bps <= 0 or max_rate_bps < min_rate_bps:
+            raise ValueError("need 0 < min_rate <= max_rate")
+        self.min_rate_bps = min_rate_bps
+        self.max_rate_bps = max_rate_bps
+        self._rate = start_rate_bps or min_rate_bps * 2
+        # Less sensitive detector: larger gradient threshold, needs to be
+        # sustained for longer before Teams reacts.
+        self.detector = DelayGradientDetector(
+            threshold_usec_per_sec=30_000.0,
+            sustained_usec=units.msec(150),
+        )
+        self.state = NORMAL
+        self._last_feedback: Optional[int] = None
+
+    @property
+    def target_rate_bps(self) -> float:
+        return max(min(self._rate, self.max_rate_bps), self.min_rate_bps)
+
+    def on_feedback(
+        self,
+        now: int,
+        received_rate_bps: float,
+        mean_delay_usec: float,
+        loss_fraction: float,
+    ) -> float:
+        """Process one feedback report; returns the new target rate."""
+        interval = (
+            now - self._last_feedback
+            if self._last_feedback is not None
+            else units.msec(100)
+        )
+        self._last_feedback = now
+        self.state = self.detector.update(now, mean_delay_usec)
+        if loss_fraction > 0.05:
+            self._rate = max(
+                self._rate * (1 - 0.6 * loss_fraction), self.min_rate_bps
+            )
+        elif self.state == OVERUSE:
+            self._rate = max(
+                self.BACKOFF * received_rate_bps, self.min_rate_bps
+            )
+        else:
+            growth = self.RAMP_PER_SEC ** (interval / units.USEC_PER_SEC)
+            self._rate = min(self._rate * growth, self.max_rate_bps)
+        return self.target_rate_bps

@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational layer over the library, mirroring how the live
+watchdog is driven:
+
+- ``services``  - list the catalog (Table 1)
+- ``solo``      - calibrate one service uncontended
+- ``pair``      - run one pair experiment and print both MmF shares
+- ``cycle``     - run an all-pairs watchdog cycle and print the heatmap
+- ``classify``  - run the CCA classifier on a named controller
+- ``sweep``     - fairness vs bandwidth/buffer/RTT for one pair
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import units
+from .cca.bbr import BBRv1, BBR_LINUX_4_15, BBR_LINUX_5_15
+from .cca.bbrv3 import BBRv3
+from .cca.classifier import CCAClassifier
+from .cca.cubic import Cubic
+from .cca.reno import NewReno
+from .cca.vegas import Vegas
+from .config import (
+    ExperimentConfig,
+    NetworkConfig,
+    TrialPolicyConfig,
+)
+from .core.experiment import run_pair_experiment, run_solo_experiment
+from .core.sweep import bandwidth_sweep, buffer_sweep, render_sweep, rtt_sweep
+from .core.watchdog import Prudentia
+from .services.catalog import default_catalog
+
+CCA_FACTORIES = {
+    "reno": lambda: NewReno(),
+    "cubic": lambda: Cubic(),
+    "bbr": lambda: BBRv1(BBR_LINUX_4_15, seed=1),
+    "bbr-5.15": lambda: BBRv1(BBR_LINUX_5_15, seed=1),
+    "bbrv3": lambda: BBRv3(seed=1),
+    "vegas": lambda: Vegas(),
+}
+
+
+def _network(args) -> NetworkConfig:
+    return NetworkConfig(
+        bandwidth_bps=units.mbps(args.bandwidth),
+        buffer_bdp_multiple=args.buffer_bdp,
+    )
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig().scaled(args.duration)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--bandwidth", type=float, default=8.0,
+        help="bottleneck bandwidth in Mbps (default: 8)",
+    )
+    parser.add_argument(
+        "--buffer-bdp", type=float, default=4.0,
+        help="queue size as a BDP multiple (default: 4)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=60.0,
+        help="experiment duration in seconds (default: 60)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+
+def cmd_services(args) -> int:
+    """List the service catalog (Table 1)."""
+    catalog = default_catalog()
+    rows = []
+    for service_id in catalog.ids():
+        spec = catalog.get(service_id)
+        rows.append(
+            {
+                "id": spec.service_id,
+                "name": spec.display_name,
+                "category": spec.category,
+                "cca": spec.cca_label,
+                "flows": spec.num_flows,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=1))
+        return 0
+    print(f"{'id':<16} {'category':<14} {'cca':<26} {'flows':>5}  name")
+    for row in rows:
+        print(
+            f"{row['id']:<16} {row['category']:<14} {row['cca']:<26} "
+            f"{row['flows']:>5}  {row['name']}"
+        )
+    return 0
+
+
+def cmd_solo(args) -> int:
+    """Calibrate one service uncontended."""
+    catalog = default_catalog()
+    result = run_solo_experiment(
+        catalog.get(args.service), _network(args), _config(args), seed=args.seed
+    )
+    if args.json:
+        print(json.dumps(result.to_json(), indent=1))
+        return 0
+    sid = args.service
+    print(f"{sid}: {result.throughput_mbps(sid):.2f} Mbps solo "
+          f"(loss {result.loss_rate[sid] * 100:.2f}%, "
+          f"mean queueing delay "
+          f"{result.queueing_delay_usec[sid] / 1000:.1f} ms)")
+    return 0
+
+
+def cmd_pair(args) -> int:
+    """Run one pair experiment and print both MmF shares."""
+    catalog = default_catalog()
+    result = run_pair_experiment(
+        catalog.get(args.service_a),
+        catalog.get(args.service_b),
+        _network(args),
+        _config(args),
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(result.to_json(), indent=1))
+        return 0
+    print(f"bottleneck {args.bandwidth:.0f} Mbps, "
+          f"{result.buffer_packets}-packet queue, "
+          f"utilization {result.utilization * 100:.0f}%")
+    for sid in result.throughput_bps:
+        print(
+            f"  {sid:<16} {result.throughput_mbps(sid):>7.2f} Mbps  "
+            f"{result.mmf_share[sid] * 100:>5.0f}% of MmF share  "
+            f"loss {result.loss_rate[sid] * 100:.2f}%"
+        )
+    return 0
+
+
+def cmd_cycle(args) -> int:
+    """Run an all-pairs watchdog cycle and print the heatmap."""
+    watchdog = Prudentia(
+        networks=[_network(args)],
+        experiment_config=_config(args),
+        policy_overrides={
+            units.mbps(args.bandwidth): TrialPolicyConfig(
+                min_trials=args.trials,
+                max_trials=args.trials,
+                batch_size=args.trials,
+                ci_halfwidth_bps=units.mbps(1e9),  # fixed trial count
+            )
+        },
+        base_seed=args.seed,
+    )
+    ids = args.services or watchdog.catalog.heatmap_ids()
+    watchdog.run_cycle(service_ids=ids)
+    report = watchdog.report(_network(args), service_ids=ids)
+    print(report.render_heatmap())
+    stats = report.losing_service_stats()
+    if stats:
+        print(f"\nmedian losing share: "
+              f"{stats['median_losing_share'] * 100:.0f}%")
+        print(f"most contentious: {report.most_contentious()}  |  "
+              f"least contentious: {report.least_contentious()}")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    """Classify a named congestion controller."""
+    factory = CCA_FACTORIES.get(args.cca)
+    if factory is None:
+        print(f"unknown CCA {args.cca!r}; choices: {sorted(CCA_FACTORIES)}",
+              file=sys.stderr)
+        return 2
+    classifier = CCAClassifier(duration_sec=args.duration, seed=args.seed)
+    reportobj = classifier.run(factory)
+    if args.json:
+        print(json.dumps(reportobj.__dict__, indent=1))
+        return 0
+    print(f"label: {reportobj.label}")
+    print(f"  mean queue fraction: {reportobj.mean_queue_fraction:.2f}")
+    print(f"  ramp linearity:      {reportobj.ramp_linearity:.3f}")
+    print(f"  deep dips:           {reportobj.deep_dip_count}")
+    print(f"  loss rate:           {reportobj.loss_rate * 100:.2f}%")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Fairness vs bandwidth/buffer/RTT for one pair."""
+    catalog = default_catalog()
+    spec_a = catalog.get(args.service_a)
+    spec_b = catalog.get(args.service_b)
+    config = _config(args)
+    values = [float(v) for v in args.values.split(",")]
+    if args.kind == "bandwidth":
+        points = bandwidth_sweep(
+            spec_a, spec_b, values, config,
+            trials=args.trials, base_seed=args.seed,
+        )
+        name = "bandwidth Mbps"
+    elif args.kind == "buffer":
+        points = buffer_sweep(
+            spec_a, spec_b, values, _network(args), config,
+            trials=args.trials, base_seed=args.seed,
+        )
+        name = "buffer xBDP"
+    else:
+        points = rtt_sweep(
+            spec_a, spec_b, values, _network(args), config,
+            trials=args.trials, base_seed=args.seed,
+        )
+        name = "RTT ms"
+    print(render_sweep(points, args.service_a, args.service_b, name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prudentia Internet-fairness watchdog (simulated)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("services", help="list the service catalog")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_services)
+
+    p = sub.add_parser("solo", help="calibrate one service uncontended")
+    p.add_argument("service")
+    _add_common(p)
+    p.set_defaults(func=cmd_solo)
+
+    p = sub.add_parser("pair", help="run one pair experiment")
+    p.add_argument("service_a")
+    p.add_argument("service_b")
+    _add_common(p)
+    p.set_defaults(func=cmd_pair)
+
+    p = sub.add_parser("cycle", help="run an all-pairs watchdog cycle")
+    p.add_argument("--services", nargs="*", default=None)
+    p.add_argument("--trials", type=int, default=3)
+    _add_common(p)
+    p.set_defaults(func=cmd_cycle)
+
+    p = sub.add_parser("classify", help="classify a congestion controller")
+    p.add_argument("cca", help=f"one of {sorted(CCA_FACTORIES)}")
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("sweep", help="fairness vs a network parameter")
+    p.add_argument("kind", choices=["bandwidth", "buffer", "rtt"])
+    p.add_argument("service_a")
+    p.add_argument("service_b")
+    p.add_argument("--values", required=True,
+                   help="comma-separated parameter values")
+    p.add_argument("--trials", type=int, default=3)
+    _add_common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The Prudentia watchdog: the paper's primary contribution.
+
+Experiment orchestration (all-pairs round-robin scheduling, the
+CI-of-the-median trial policy, solo calibration), fairness metrics
+(max-min fair share), persistence, and report generation.
+"""
+
+from .mmf import max_min_allocation, pair_allocation
+from .metrics import (
+    mmf_share,
+    jains_fairness_index,
+    harm,
+)
+from .stats import (
+    median,
+    iqr,
+    bootstrap_median_ci,
+    TrialSummary,
+    summarize_trials,
+)
+from .testbed import Testbed
+from .experiment import (
+    ExperimentResult,
+    run_multi_experiment,
+    run_pair_experiment,
+    run_solo_experiment,
+)
+from .sweep import (
+    SweepPoint,
+    bandwidth_sweep,
+    background_loss_sweep,
+    buffer_sweep,
+    render_sweep,
+    rtt_sweep,
+)
+from .parallel import ParallelRunner, TrialSpec, all_pairs_trials
+from .policy import TrialPolicy
+from .scheduler import RoundRobinScheduler, PairState
+from .artifacts import ArtifactPublisher, PublishedExperiment
+from .calibration import SoloCalibration, calibrate_catalog
+from .results import ResultStore
+from .watchdog import Prudentia
+from .submission import SubmissionPortal, Submission
+from .report import FairnessReport
+
+__all__ = [
+    "max_min_allocation",
+    "pair_allocation",
+    "mmf_share",
+    "jains_fairness_index",
+    "harm",
+    "median",
+    "iqr",
+    "bootstrap_median_ci",
+    "TrialSummary",
+    "summarize_trials",
+    "Testbed",
+    "ExperimentResult",
+    "run_multi_experiment",
+    "run_pair_experiment",
+    "run_solo_experiment",
+    "SweepPoint",
+    "bandwidth_sweep",
+    "background_loss_sweep",
+    "buffer_sweep",
+    "render_sweep",
+    "rtt_sweep",
+    "ParallelRunner",
+    "TrialSpec",
+    "all_pairs_trials",
+    "TrialPolicy",
+    "RoundRobinScheduler",
+    "PairState",
+    "ArtifactPublisher",
+    "PublishedExperiment",
+    "SoloCalibration",
+    "calibrate_catalog",
+    "ResultStore",
+    "Prudentia",
+    "SubmissionPortal",
+    "Submission",
+    "FairnessReport",
+]

@@ -1,0 +1,140 @@
+"""Experiment artifact publication (the internetfairness.net data dumps).
+
+Section 7: "the Prudentia website makes potentially useful data like
+bottleneck queue logs and client PCAPs for every experiment publicly
+accessible".  This module is that publication pipeline: it runs a traced
+experiment and writes a self-describing directory per experiment
+containing the result record, the queue log, the per-packet trace, and a
+human-readable summary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..browser.environment import ClientEnvironment
+from ..config import ExperimentConfig, NetworkConfig
+from ..services.catalog import ServiceSpec
+from .experiment import ExperimentResult
+from .mmf import max_min_allocation
+from .metrics import mmf_share
+from .testbed import Testbed
+
+
+@dataclass(frozen=True)
+class PublishedExperiment:
+    """Paths of one published experiment's artifacts."""
+
+    directory: Path
+    result_path: Path
+    queue_log_path: Path
+    trace_path: Path
+    summary_path: Path
+
+
+class ArtifactPublisher:
+    """Runs traced experiments and writes their artifacts to disk."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _experiment_dir(self, result: ExperimentResult) -> Path:
+        slug = (
+            f"{result.contender_id}_vs_{result.incumbent_id}"
+            f"_{result.bandwidth_bps / 1e6:.0f}mbps_seed{result.seed}"
+        ).replace("#", "i")
+        return self.root / slug
+
+    def publish_pair(
+        self,
+        spec_a: ServiceSpec,
+        spec_b: ServiceSpec,
+        network: NetworkConfig,
+        config: ExperimentConfig,
+        seed: int = 0,
+        env: Optional[ClientEnvironment] = None,
+    ) -> PublishedExperiment:
+        """Run one traced trial and publish its artifacts."""
+        testbed = Testbed(network, seed=seed, trace_packets=True)
+        service_a = spec_a.create(seed=seed * 2 + 1, env=env)
+        service_b = spec_b.create(seed=seed * 2 + 2, env=env)
+        if service_a.service_id == service_b.service_id:
+            service_b.service_id += "#2"
+        testbed.add_service(service_a)
+        testbed.add_service(service_b)
+        testbed.start_all()
+        testbed.run_window(config)
+
+        caps = [spec_a.max_throughput_bps, spec_b.max_throughput_bps]
+        allocation = max_min_allocation(network.bandwidth_bps, caps)
+        ids = [service_a.service_id, service_b.service_id]
+        throughput = testbed.throughput_bps()
+        result = ExperimentResult(
+            contender_id=ids[0],
+            incumbent_id=ids[1],
+            bandwidth_bps=network.bandwidth_bps,
+            buffer_packets=network.queue_packets,
+            seed=seed,
+            duration_usec=testbed.window_usec,
+            throughput_bps=throughput,
+            mmf_allocation_bps=dict(zip(ids, allocation)),
+            mmf_share={
+                sid: mmf_share(throughput[sid], alloc)
+                for sid, alloc in zip(ids, allocation)
+            },
+            loss_rate=testbed.loss_rates(),
+            queueing_delay_usec=testbed.queueing_delays_usec(),
+            service_metrics={
+                s.service_id: s.metrics() for s in testbed.services
+            },
+            utilization=testbed.utilization(),
+            external_loss_fraction=testbed.external_loss_fraction(),
+        )
+        return self._write(result, testbed)
+
+    def _write(
+        self, result: ExperimentResult, testbed: Testbed
+    ) -> PublishedExperiment:
+        directory = self._experiment_dir(result)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        result_path = directory / "result.json"
+        result_path.write_text(json.dumps(result.to_json(), indent=1))
+
+        queue_log_path = directory / "queue_log.json"
+        queue_log_path.write_text(
+            json.dumps(testbed.bell.queue_log.to_json())
+        )
+
+        trace_path = directory / "packet_trace.json"
+        trace_path.write_text(json.dumps(testbed.bell.trace.to_json()))
+
+        summary_path = directory / "SUMMARY.txt"
+        lines = [
+            f"{result.contender_id} vs {result.incumbent_id} at "
+            f"{result.bandwidth_bps / 1e6:.0f} Mbps "
+            f"({result.buffer_packets}-packet queue), seed {result.seed}",
+            f"utilization: {result.utilization * 100:.1f}%",
+            "",
+        ]
+        for sid in result.throughput_bps:
+            lines.append(
+                f"  {sid:<20} {result.throughput_bps[sid] / 1e6:7.2f} Mbps "
+                f"= {result.mmf_share[sid] * 100:5.1f}% of MmF share, "
+                f"loss {result.loss_rate[sid] * 100:.2f}%, "
+                f"queueing delay "
+                f"{result.queueing_delay_usec[sid] / 1000:.1f} ms"
+            )
+        summary_path.write_text("\n".join(lines) + "\n")
+
+        return PublishedExperiment(
+            directory=directory,
+            result_path=result_path,
+            queue_log_path=queue_log_path,
+            trace_path=trace_path,
+            summary_path=summary_path,
+        )

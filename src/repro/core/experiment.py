@@ -1,0 +1,256 @@
+"""Run one trial: two services (or one, solo) through the testbed.
+
+Every experiment produces *two* numbers - the MmF share attained by each
+competing service (Section 2.2) - plus the network-level and QoE metrics
+the Beyond-Throughput sections use.  Results serialise to JSON for the
+result store and the website artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..browser.environment import ClientEnvironment
+from ..config import ExperimentConfig, NetworkConfig
+from ..services.catalog import ServiceSpec
+from .metrics import mmf_share
+from .mmf import max_min_allocation
+from .testbed import Testbed
+
+#: Trials with more external (upstream) loss than this are discarded
+#: (Section 3.1 background-noise mitigation).
+EXTERNAL_LOSS_LIMIT = 0.0005
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one trial.
+
+    ``contender_id``/``incumbent_id`` follow the paper's naming: the
+    incumbent is the service whose share is being read, but since every
+    trial yields both services' numbers, the result stores per-service
+    dictionaries and either service can be read as the incumbent.
+    """
+
+    contender_id: str
+    incumbent_id: str
+    bandwidth_bps: float
+    buffer_packets: int
+    seed: int
+    duration_usec: int
+    throughput_bps: Dict[str, float] = field(default_factory=dict)
+    mmf_allocation_bps: Dict[str, float] = field(default_factory=dict)
+    mmf_share: Dict[str, float] = field(default_factory=dict)
+    loss_rate: Dict[str, float] = field(default_factory=dict)
+    queueing_delay_usec: Dict[str, float] = field(default_factory=dict)
+    service_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    utilization: float = 0.0
+    external_loss_fraction: float = 0.0
+
+    @property
+    def valid(self) -> bool:
+        """False when upstream noise invalidates the trial."""
+        return self.external_loss_fraction <= EXTERNAL_LOSS_LIMIT
+
+    def share_of(self, service_id: str) -> float:
+        """This service's achieved fraction of its MmF allocation."""
+        return self.mmf_share[service_id]
+
+    def throughput_mbps(self, service_id: str) -> float:
+        """This service's measured throughput in Mbps."""
+        return self.throughput_bps[service_id] / 1e6
+
+    def to_json(self) -> Dict:
+        """Serialise to a JSON-compatible dict (artifact publication)."""
+        return {
+            "contender_id": self.contender_id,
+            "incumbent_id": self.incumbent_id,
+            "bandwidth_bps": self.bandwidth_bps,
+            "buffer_packets": self.buffer_packets,
+            "seed": self.seed,
+            "duration_usec": self.duration_usec,
+            "throughput_bps": self.throughput_bps,
+            "mmf_allocation_bps": self.mmf_allocation_bps,
+            "mmf_share": self.mmf_share,
+            "loss_rate": self.loss_rate,
+            "queueing_delay_usec": self.queueing_delay_usec,
+            "service_metrics": self.service_metrics,
+            "utilization": self.utilization,
+            "external_loss_fraction": self.external_loss_fraction,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ExperimentResult":
+        return cls(**payload)
+
+
+def _allocation_caps(
+    spec: ServiceSpec, override: Optional[float]
+) -> Optional[float]:
+    if override is not None:
+        return override
+    return spec.max_throughput_bps
+
+
+def run_multi_experiment(
+    specs: "list[ServiceSpec]",
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    seed: int = 0,
+    env: Optional[ClientEnvironment] = None,
+    trace_packets: bool = False,
+    cap_overrides: Optional["list[Optional[float]]"] = None,
+) -> ExperimentResult:
+    """N-way contention: every service in ``specs`` competes at once.
+
+    This is the paper's Section 9 'beyond pairwise testing' direction: a
+    service that is fair against one competitor may not stay fair against
+    several.  MmF allocations use N-way water-filling over the documented
+    caps.  Duplicate specs get ``#2``/``#3`` suffixes, like self-pairs.
+    """
+    if len(specs) < 1:
+        raise ValueError("need at least one service")
+    caps_in = cap_overrides or [None] * len(specs)
+    if len(caps_in) != len(specs):
+        raise ValueError("cap_overrides must match specs")
+    testbed = Testbed(network, seed=seed, trace_packets=trace_packets)
+    seen: Dict[str, int] = {}
+    services = []
+    for index, spec in enumerate(specs):
+        service = spec.create(seed=seed * len(specs) + index + 1, env=env)
+        count = seen.get(service.service_id, 0)
+        seen[service.service_id] = count + 1
+        if count:
+            service.service_id = f"{service.service_id}#{count + 1}"
+        testbed.add_service(service)
+        services.append(service)
+    testbed.start_all()
+    testbed.run_window(config)
+
+    caps = [
+        _allocation_caps(spec, cap)
+        for spec, cap in zip(specs, caps_in)
+    ]
+    allocation = max_min_allocation(network.bandwidth_bps, caps)
+    ids = [service.service_id for service in services]
+    throughput = testbed.throughput_bps()
+    return ExperimentResult(
+        contender_id=ids[0],
+        incumbent_id=ids[-1],
+        bandwidth_bps=network.bandwidth_bps,
+        buffer_packets=network.queue_packets,
+        seed=seed,
+        duration_usec=testbed.window_usec,
+        throughput_bps=throughput,
+        mmf_allocation_bps=dict(zip(ids, allocation)),
+        mmf_share={
+            sid: mmf_share(throughput[sid], alloc)
+            for sid, alloc in zip(ids, allocation)
+        },
+        loss_rate=testbed.loss_rates(),
+        queueing_delay_usec=testbed.queueing_delays_usec(),
+        service_metrics={
+            service.service_id: service.metrics() for service in services
+        },
+        utilization=testbed.utilization(),
+        external_loss_fraction=testbed.external_loss_fraction(),
+    )
+
+
+def run_pair_experiment(
+    spec_a: ServiceSpec,
+    spec_b: ServiceSpec,
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    seed: int = 0,
+    env: Optional[ClientEnvironment] = None,
+    trace_packets: bool = False,
+    cap_override_a: Optional[float] = None,
+    cap_override_b: Optional[float] = None,
+) -> ExperimentResult:
+    """One trial of ``spec_a`` vs ``spec_b`` at the given network setting.
+
+    Self-competition (spec_a is spec_b) is supported: the second instance
+    gets a distinct service id suffix so that bottleneck accounting can
+    tell the two apart, exactly like running two OneDrive downloads.
+    """
+    testbed = Testbed(network, seed=seed, trace_packets=trace_packets)
+    service_a = spec_a.create(seed=seed * 2 + 1, env=env)
+    service_b = spec_b.create(seed=seed * 2 + 2, env=env)
+    if service_a.service_id == service_b.service_id:
+        service_b.service_id = service_b.service_id + "#2"
+    testbed.add_service(service_a)
+    testbed.add_service(service_b)
+    testbed.start_all()
+    testbed.run_window(config)
+
+    caps = [
+        _allocation_caps(spec_a, cap_override_a),
+        _allocation_caps(spec_b, cap_override_b),
+    ]
+    allocation = max_min_allocation(network.bandwidth_bps, caps)
+    ids = [service_a.service_id, service_b.service_id]
+    throughput = testbed.throughput_bps()
+
+    result = ExperimentResult(
+        contender_id=ids[0],
+        incumbent_id=ids[1],
+        bandwidth_bps=network.bandwidth_bps,
+        buffer_packets=network.queue_packets,
+        seed=seed,
+        duration_usec=testbed.window_usec,
+        throughput_bps=throughput,
+        mmf_allocation_bps=dict(zip(ids, allocation)),
+        mmf_share={
+            sid: mmf_share(throughput[sid], alloc)
+            for sid, alloc in zip(ids, allocation)
+        },
+        loss_rate=testbed.loss_rates(),
+        queueing_delay_usec=testbed.queueing_delays_usec(),
+        service_metrics={
+            service.service_id: service.metrics()
+            for service in testbed.services
+        },
+        utilization=testbed.utilization(),
+        external_loss_fraction=testbed.external_loss_fraction(),
+    )
+    return result
+
+
+def run_solo_experiment(
+    spec: ServiceSpec,
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    seed: int = 0,
+    env: Optional[ClientEnvironment] = None,
+    trace_packets: bool = False,
+) -> ExperimentResult:
+    """One uncontended run (calibration / throttle detection)."""
+    testbed = Testbed(network, seed=seed, trace_packets=trace_packets)
+    service = spec.create(seed=seed, env=env)
+    testbed.add_service(service)
+    testbed.start_all()
+    testbed.run_window(config)
+
+    throughput = testbed.throughput_bps()
+    sid = service.service_id
+    allocation = max_min_allocation(
+        network.bandwidth_bps, [spec.max_throughput_bps]
+    )[0]
+    return ExperimentResult(
+        contender_id=sid,
+        incumbent_id=sid,
+        bandwidth_bps=network.bandwidth_bps,
+        buffer_packets=network.queue_packets,
+        seed=seed,
+        duration_usec=testbed.window_usec,
+        throughput_bps=throughput,
+        mmf_allocation_bps={sid: allocation},
+        mmf_share={sid: mmf_share(throughput[sid], allocation)},
+        loss_rate=testbed.loss_rates(),
+        queueing_delay_usec=testbed.queueing_delays_usec(),
+        service_metrics={sid: service.metrics()},
+        utilization=testbed.utilization(),
+        external_loss_fraction=testbed.external_loss_fraction(),
+    )

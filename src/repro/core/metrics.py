@@ -1,0 +1,46 @@
+"""Fairness and performance metrics.
+
+The headline metric is the fraction of the max-min fair share an incumbent
+achieved (Section 2.2).  Jain's index and Ware et al.'s *harm* are
+implemented for completeness - the paper explains why it prefers MmF share
+over both (JFI collapses winner/loser identity; harm targets deployability
+thresholds) - and they are useful cross-checks in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def mmf_share(achieved_bps: float, allocation_bps: float) -> float:
+    """Fraction of the max-min fair allocation actually achieved.
+
+    Values above 1.0 mean the service got *more* than its fair share
+    (rendered as >100 in the paper's heatmaps).
+    """
+    if allocation_bps <= 0:
+        raise ValueError("allocation must be positive")
+    return max(0.0, achieved_bps) / allocation_bps
+
+
+def jains_fairness_index(rates_bps: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = equal."""
+    rates = [max(0.0, r) for r in rates_bps]
+    if not rates:
+        raise ValueError("need at least one rate")
+    total = sum(rates)
+    squares = sum(r * r for r in rates)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(rates) * squares)
+
+
+def harm(solo_bps: float, contended_bps: float) -> float:
+    """Ware et al.'s harm metric: relative performance loss vs running solo.
+
+    0.0 = unharmed, 1.0 = fully starved.  Negative values (performing
+    better under contention) are clamped to 0.
+    """
+    if solo_bps <= 0:
+        raise ValueError("solo performance must be positive")
+    return max(0.0, (solo_bps - contended_bps) / solo_bps)

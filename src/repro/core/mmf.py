@@ -1,0 +1,58 @@
+"""Max-min fair (MmF) bandwidth allocation with application caps.
+
+Section 2.2: Prudentia scores every service against its max-min fair share
+of the bottleneck.  For unconstrained services that is half the link; for
+application-limited services (a 13 Mbps-capped YouTube on a 50 Mbps link)
+the allocation is the classic water-filling solution: capped services get
+their cap, and the freed bandwidth is redistributed to the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def max_min_allocation(
+    capacity_bps: float, caps_bps: Sequence[Optional[float]]
+) -> List[float]:
+    """Water-filling allocation of ``capacity_bps`` across demands.
+
+    ``caps_bps[i]`` is service *i*'s intrinsic maximum rate (``None`` for
+    unbounded).  Returns the per-service max-min fair allocation.  The
+    allocation exhausts the capacity unless the sum of the caps is lower,
+    in which case every service is satisfied at its cap.
+    """
+    if capacity_bps <= 0:
+        raise ValueError("capacity must be positive")
+    n = len(caps_bps)
+    if n == 0:
+        return []
+    allocation = [0.0] * n
+    remaining = float(capacity_bps)
+    active = list(range(n))
+    while active:
+        share = remaining / len(active)
+        bounded = [
+            i
+            for i in active
+            if caps_bps[i] is not None and caps_bps[i] <= share
+        ]
+        if not bounded:
+            for i in active:
+                allocation[i] = share
+            return allocation
+        for i in bounded:
+            allocation[i] = float(caps_bps[i])
+            remaining -= float(caps_bps[i])
+            active.remove(i)
+    return allocation
+
+
+def pair_allocation(
+    capacity_bps: float,
+    cap_a_bps: Optional[float],
+    cap_b_bps: Optional[float],
+) -> Dict[str, float]:
+    """MmF allocation for the two-service case used by every experiment."""
+    alloc = max_min_allocation(capacity_bps, [cap_a_bps, cap_b_bps])
+    return {"a": alloc[0], "b": alloc[1]}

@@ -1,0 +1,74 @@
+"""The trial policy: when is a pair's measurement statistically done?
+
+Section 3.4: run a minimum of 10 trials, then more in sets of 10 up to 30,
+until the 95% CI of the median throughput is within the setting's
+threshold (+/-0.5 Mbps at 8 Mbps, +/-1.5 Mbps at 50 Mbps).  Pairs that
+never converge (Observation 15's unstable services) are flagged rather
+than measured forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import TrialPolicyConfig
+from .stats import summarize_trials
+
+
+@dataclass
+class PolicyDecision:
+    """Outcome of evaluating a pair's trials against the policy."""
+
+    converged: bool
+    needs_more: bool
+    exhausted: bool
+    worst_ci_halfwidth_bps: float
+
+    @property
+    def unstable(self) -> bool:
+        """Hit the trial cap without converging (Fig 10 services)."""
+        return self.exhausted and not self.converged
+
+
+class TrialPolicy:
+    """Applies the Section 3.4 stopping rule to per-service trial series."""
+
+    def __init__(self, config: TrialPolicyConfig) -> None:
+        self.config = config
+
+    def evaluate(
+        self, per_service_throughputs_bps: Sequence[Sequence[float]]
+    ) -> PolicyDecision:
+        """Evaluate trials-so-far; each inner sequence is one service's
+        per-trial throughput in bits per second."""
+        counts = {len(series) for series in per_service_throughputs_bps}
+        if len(counts) != 1:
+            raise ValueError("all services must have the same trial count")
+        n = counts.pop()
+        if n < self.config.min_trials:
+            return PolicyDecision(
+                converged=False,
+                needs_more=True,
+                exhausted=False,
+                worst_ci_halfwidth_bps=float("inf"),
+            )
+        worst = 0.0
+        for series in per_service_throughputs_bps:
+            summary = summarize_trials(series, self.config.confidence)
+            worst = max(worst, summary.ci_halfwidth)
+        converged = worst <= self.config.ci_halfwidth_bps
+        exhausted = n >= self.config.max_trials
+        return PolicyDecision(
+            converged=converged,
+            needs_more=not converged and not exhausted,
+            exhausted=exhausted,
+            worst_ci_halfwidth_bps=worst,
+        )
+
+    def next_batch_size(self, trials_so_far: int) -> int:
+        """How many trials to queue next (initial batch, then sets of 10)."""
+        if trials_so_far == 0:
+            return self.config.min_trials
+        remaining = self.config.max_trials - trials_so_far
+        return max(0, min(self.config.batch_size, remaining))

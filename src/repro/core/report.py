@@ -1,0 +1,229 @@
+"""Fairness reporting: heatmaps, winner/loser statistics, rankings,
+transitivity analysis.
+
+This module turns a :class:`ResultStore` into the paper's published
+artifacts: Fig-2-style MmF heatmaps, the Observation-1 losing-service
+statistics, contentiousness/sensitivity rankings (Section 2.3's working
+definitions), and the Table-3 non-transitivity search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .results import ResultStore
+from .stats import median
+
+
+@dataclass(frozen=True)
+class TransitivityTriple:
+    """A counterexample to transitive (un)fairness (Table 3)."""
+
+    alpha: str
+    beta: str
+    gamma: str
+    bandwidth_bps: float
+    beta_vs_alpha: float
+    gamma_vs_beta: float
+    gamma_vs_alpha: float
+
+
+class FairnessReport:
+    """Aggregated fairness view over a set of measured pairs."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        service_ids: Sequence[str],
+        bandwidth_bps: float,
+    ) -> None:
+        self.store = store
+        self.service_ids = list(service_ids)
+        self.bandwidth_bps = bandwidth_bps
+
+    # ------------------------------------------------------------------
+    # Heatmap (Fig 2)
+    # ------------------------------------------------------------------
+
+    def median_share(
+        self, incumbent: str, contender: str
+    ) -> Optional[float]:
+        """Median MmF share of ``incumbent`` when fighting ``contender``."""
+        shares = self.store.shares(incumbent, contender, self.bandwidth_bps)
+        if not shares:
+            return None
+        return median(shares)
+
+    def heatmap(self) -> Dict[Tuple[str, str], Optional[float]]:
+        """(contender, incumbent) -> median MmF share (rows = contender)."""
+        grid: Dict[Tuple[str, str], Optional[float]] = {}
+        for contender in self.service_ids:
+            for incumbent in self.service_ids:
+                grid[(contender, incumbent)] = self.median_share(
+                    incumbent, contender
+                )
+        return grid
+
+    def render_heatmap(self, cell_from: str = "share") -> str:
+        """Text rendering of the Fig 2 heatmap (values in % of MmF)."""
+        width = max(len(s) for s in self.service_ids) + 1
+        header = " " * width + "".join(
+            f"{s[:9]:>10}" for s in self.service_ids
+        )
+        lines = [
+            f"rows = contender, cols = incumbent; cells = median % of "
+            f"incumbent's MmF share @ {self.bandwidth_bps / 1e6:.0f} Mbps",
+            header,
+        ]
+        for contender in self.service_ids:
+            cells = []
+            for incumbent in self.service_ids:
+                value = self.median_share(incumbent, contender)
+                cells.append("       ---" if value is None else f"{value * 100:>10.0f}")
+            lines.append(f"{contender:<{width}}" + "".join(cells))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Winner/loser statistics (Observation 1)
+    # ------------------------------------------------------------------
+
+    def losing_shares(self) -> List[float]:
+        """The per-pair MmF share of whichever service lost (cross pairs)."""
+        losers: List[float] = []
+        for i, a in enumerate(self.service_ids):
+            for b in self.service_ids[i + 1:]:
+                share_a = self.median_share(a, b)
+                share_b = self.median_share(b, a)
+                if share_a is None or share_b is None:
+                    continue
+                losers.append(min(share_a, share_b))
+        return losers
+
+    def losing_service_stats(self) -> Dict[str, float]:
+        """Observation-1 statistics over the per-pair losing shares."""
+        losers = self.losing_shares()
+        if not losers:
+            return {}
+        return {
+            "pairs": float(len(losers)),
+            "median_losing_share": median(losers),
+            "mean_losing_share": sum(losers) / len(losers),
+            "fraction_below_90pct": sum(1 for v in losers if v <= 0.9)
+            / len(losers),
+            "fraction_below_50pct": sum(1 for v in losers if v <= 0.5)
+            / len(losers),
+        }
+
+    def self_competition_shares(self) -> Dict[str, float]:
+        """Median share each service achieves against itself."""
+        shares = {}
+        for sid in self.service_ids:
+            value = self.median_share(sid, sid)
+            if value is not None:
+                shares[sid] = value
+        return shares
+
+    # ------------------------------------------------------------------
+    # Contentiousness & sensitivity (Section 2.3)
+    # ------------------------------------------------------------------
+
+    def contentiousness(self) -> Dict[str, float]:
+        """Mean share *competitors* achieve against each contender.
+
+        Lower = more contentious (the service's row in Fig 2 is red).
+        """
+        scores = {}
+        for contender in self.service_ids:
+            values = [
+                share
+                for incumbent in self.service_ids
+                if incumbent != contender
+                for share in [self.median_share(incumbent, contender)]
+                if share is not None
+            ]
+            if values:
+                scores[contender] = sum(values) / len(values)
+        return scores
+
+    def sensitivity(self) -> Dict[str, float]:
+        """Mean share each service achieves against all contenders.
+
+        Lower = more sensitive (the service's column in Fig 2 is red).
+        """
+        scores = {}
+        for incumbent in self.service_ids:
+            values = [
+                share
+                for contender in self.service_ids
+                if contender != incumbent
+                for share in [self.median_share(incumbent, contender)]
+                if share is not None
+            ]
+            if values:
+                scores[incumbent] = sum(values) / len(values)
+        return scores
+
+    def most_contentious(self) -> Optional[str]:
+        """Service whose competitors fare worst (lowest row average)."""
+        scores = self.contentiousness()
+        if not scores:
+            return None
+        return min(scores, key=scores.get)
+
+    def least_contentious(self) -> Optional[str]:
+        """Service whose competitors fare best (highest row average)."""
+        scores = self.contentiousness()
+        if not scores:
+            return None
+        return max(scores, key=scores.get)
+
+    # ------------------------------------------------------------------
+    # Transitivity (Observation 14 / Table 3)
+    # ------------------------------------------------------------------
+
+    def find_non_transitive_triples(
+        self,
+        unfair_below: float = 0.75,
+        fair_above: float = 0.95,
+    ) -> List[TransitivityTriple]:
+        """Triples where alpha hurts beta, beta hurts gamma, yet gamma is
+        fine against alpha (and the fair/fair/unfair mirror case)."""
+        triples: List[TransitivityTriple] = []
+        for alpha in self.service_ids:
+            for beta in self.service_ids:
+                if beta == alpha:
+                    continue
+                b_vs_a = self.median_share(beta, alpha)
+                if b_vs_a is None:
+                    continue
+                for gamma in self.service_ids:
+                    if gamma in (alpha, beta):
+                        continue
+                    g_vs_b = self.median_share(gamma, beta)
+                    g_vs_a = self.median_share(gamma, alpha)
+                    if g_vs_b is None or g_vs_a is None:
+                        continue
+                    unfair_chain = (
+                        b_vs_a < unfair_below
+                        and g_vs_b < unfair_below
+                        and g_vs_a >= fair_above
+                    )
+                    fair_chain = (
+                        b_vs_a >= fair_above
+                        and g_vs_b >= fair_above
+                        and g_vs_a < unfair_below
+                    )
+                    if unfair_chain or fair_chain:
+                        triples.append(
+                            TransitivityTriple(
+                                alpha=alpha,
+                                beta=beta,
+                                gamma=gamma,
+                                bandwidth_bps=self.bandwidth_bps,
+                                beta_vs_alpha=b_vs_a,
+                                gamma_vs_beta=g_vs_b,
+                                gamma_vs_alpha=g_vs_a,
+                            )
+                        )
+        return triples

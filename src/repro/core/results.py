@@ -1,0 +1,116 @@
+"""Result persistence: the data behind internetfairness.net.
+
+Stores every trial's :class:`ExperimentResult`, queryable by pair and
+network setting, and serialises to JSON so experiment artifacts (queue
+logs, traces, per-trial metrics) can be published.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .experiment import ExperimentResult
+
+SettingKey = Tuple[str, str, float]  # (service_a, service_b, bandwidth)
+
+
+def _pair_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class ResultStore:
+    """In-memory store of trial results with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._results: Dict[SettingKey, List[ExperimentResult]] = {}
+
+    def add(self, result: ExperimentResult) -> None:
+        """Record one trial under its (pair, bandwidth) bucket."""
+        base_a = result.contender_id.split("#")[0]
+        base_b = result.incumbent_id.split("#")[0]
+        a, b = _pair_key(base_a, base_b)
+        key = (a, b, result.bandwidth_bps)
+        self._results.setdefault(key, []).append(result)
+
+    def trials(
+        self, a: str, b: str, bandwidth_bps: float
+    ) -> List[ExperimentResult]:
+        """All recorded trials of a pair at a bandwidth (any order)."""
+        a, b = _pair_key(a.split("#")[0], b.split("#")[0])
+        return list(self._results.get((a, b, bandwidth_bps), []))
+
+    def valid_trials(
+        self, a: str, b: str, bandwidth_bps: float
+    ) -> List[ExperimentResult]:
+        """Trials that survive the external-loss discard rule."""
+        return [t for t in self.trials(a, b, bandwidth_bps) if t.valid]
+
+    def shares(
+        self, incumbent: str, contender: str, bandwidth_bps: float
+    ) -> List[float]:
+        """Per-trial MmF shares of ``incumbent`` against ``contender``.
+
+        Self-pairs resolve the ``#2`` suffixed instance as the incumbent
+        when the two ids are equal.
+        """
+        values = []
+        for trial in self.valid_trials(incumbent, contender, bandwidth_bps):
+            key = self._resolve_id(trial, incumbent, contender)
+            if key is not None:
+                values.append(trial.mmf_share[key])
+        return values
+
+    def throughputs_bps(
+        self, incumbent: str, contender: str, bandwidth_bps: float
+    ) -> List[float]:
+        """Per-trial throughputs of ``incumbent`` against ``contender``."""
+        values = []
+        for trial in self.valid_trials(incumbent, contender, bandwidth_bps):
+            key = self._resolve_id(trial, incumbent, contender)
+            if key is not None:
+                values.append(trial.throughput_bps[key])
+        return values
+
+    @staticmethod
+    def _resolve_id(
+        trial: ExperimentResult, incumbent: str, contender: str
+    ) -> Optional[str]:
+        ids = list(trial.mmf_share)
+        if incumbent == contender:
+            suffixed = [sid for sid in ids if sid.endswith("#2")]
+            return suffixed[0] if suffixed else ids[0]
+        for sid in ids:
+            if sid.split("#")[0] == incumbent:
+                return sid
+        return None
+
+    def pairs(self) -> List[SettingKey]:
+        """All (service_a, service_b, bandwidth) buckets with data."""
+        return sorted(self._results)
+
+    def all_results(self) -> Iterable[ExperimentResult]:
+        """Iterate every stored trial across all buckets."""
+        for bucket in self._results.values():
+            yield from bucket
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._results.values())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        """Write the store to a JSON file."""
+        payload = [result.to_json() for result in self.all_results()]
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path: Path) -> "ResultStore":
+        store = cls()
+        payload = json.loads(Path(path).read_text())
+        for entry in payload:
+            store.add(ExperimentResult.from_json(entry))
+        return store

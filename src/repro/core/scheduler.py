@@ -1,0 +1,115 @@
+"""All-pairs round-robin experiment scheduling.
+
+Section 3.4: "To limit the effect of temporally-localized performance
+issues ... we run the trials in a round-robin manner" - trial k of every
+pair runs before trial k+1 of any pair.  Pairs whose confidence interval
+has not converged after a batch are automatically re-queued for another
+batch, up to the policy's trial cap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .policy import PolicyDecision, TrialPolicy
+
+PairKey = Tuple[str, str]
+
+
+@dataclass
+class PairState:
+    """Scheduling state for one (contender, incumbent) pair."""
+
+    pair: PairKey
+    trials_done: int = 0
+    trials_queued: int = 0
+    done: bool = False
+    decision: Optional[PolicyDecision] = None
+    throughputs_bps: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record_trial(self, throughputs_bps: Dict[str, float]) -> None:
+        """Append one trial's per-service throughputs to the state."""
+        self.trials_done += 1
+        self.trials_queued -= 1
+        for service_id, value in throughputs_bps.items():
+            self.throughputs_bps.setdefault(service_id, []).append(value)
+
+
+class RoundRobinScheduler:
+    """Yields (pair, trial_seed) work items in round-robin order."""
+
+    def __init__(
+        self,
+        service_ids: List[str],
+        policy: TrialPolicy,
+        include_self_pairs: bool = True,
+        base_seed: int = 0,
+    ) -> None:
+        if not service_ids:
+            raise ValueError("need at least one service")
+        pairs: List[PairKey] = list(
+            itertools.combinations(sorted(service_ids), 2)
+        )
+        if include_self_pairs:
+            pairs.extend((sid, sid) for sid in sorted(service_ids))
+        self.policy = policy
+        self.base_seed = base_seed
+        self.states: Dict[PairKey, PairState] = {
+            pair: PairState(pair=pair) for pair in pairs
+        }
+        for state in self.states.values():
+            state.trials_queued = policy.next_batch_size(0)
+
+    @property
+    def pairs(self) -> List[PairKey]:
+        return list(self.states)
+
+    def pending(self) -> bool:
+        """True while any pair still has queued trials."""
+        return any(s.trials_queued > 0 for s in self.states.values())
+
+    def work_items(self) -> Iterator[Tuple[PairKey, int]]:
+        """Round-robin over pairs: one trial per pair per sweep.
+
+        Re-queue decisions happen when a pair's queued batch drains, so
+        unstable pairs keep reappearing in later sweeps until the trial
+        cap is reached (exactly the paper's scheduler behaviour).
+        """
+        while self.pending():
+            for pair, state in self.states.items():
+                if state.trials_queued > 0:
+                    seed = self._seed_for(pair, state.trials_done)
+                    yield pair, seed
+
+    def _seed_for(self, pair: PairKey, trial_index: int) -> int:
+        digest = zlib.crc32("|".join(pair).encode("utf-8")) & 0xFFFF
+        return self.base_seed * 7_919 + digest * 101 + trial_index
+
+    def record_result(
+        self, pair: PairKey, throughputs_bps: Dict[str, float]
+    ) -> None:
+        """Feed one trial's outcome back; may re-queue or finish the pair."""
+        state = self.states[pair]
+        state.record_trial(throughputs_bps)
+        if state.trials_queued > 0:
+            return  # batch still draining
+        series = list(state.throughputs_bps.values())
+        decision = self.policy.evaluate(series)
+        state.decision = decision
+        if decision.needs_more:
+            state.trials_queued = self.policy.next_batch_size(state.trials_done)
+            if state.trials_queued == 0:
+                state.done = True
+        else:
+            state.done = True
+
+    def unstable_pairs(self) -> List[PairKey]:
+        """Pairs that hit the trial cap without converging (Fig 10)."""
+        return [
+            pair
+            for pair, state in self.states.items()
+            if state.decision is not None and state.decision.unstable
+        ]

@@ -1,0 +1,103 @@
+"""Trial statistics: medians, IQRs, bootstrap confidence intervals.
+
+Section 3.4: Prudentia reports medians with inter-quartile-range error
+bars, and keeps adding trials until the 95% confidence interval of the
+median is within +/-0.5 Mbps (8 Mbps setting) or +/-1.5 Mbps (50 Mbps
+setting).  The CI of the median is computed with a percentile bootstrap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def median(samples: Sequence[float]) -> float:
+    """Sample median (mean of the middle two for even counts)."""
+    if not samples:
+        raise ValueError("median of empty sample set")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile, 0 <= q <= 1."""
+    if not samples:
+        raise ValueError("quantile of empty sample set")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def iqr(samples: Sequence[float]) -> Tuple[float, float]:
+    """(25th, 75th) percentiles - the paper's error bars."""
+    return quantile(samples, 0.25), quantile(samples, 0.75)
+
+
+def bootstrap_median_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval of the median."""
+    if not samples:
+        raise ValueError("bootstrap of empty sample set")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    data = list(samples)
+    if len(data) == 1:
+        return data[0], data[0]
+    rng = random.Random(seed)
+    n = len(data)
+    medians: List[float] = []
+    for _ in range(n_resamples):
+        resample = [data[rng.randrange(n)] for _ in range(n)]
+        medians.append(median(resample))
+    alpha = (1.0 - confidence) / 2.0
+    return quantile(medians, alpha), quantile(medians, 1.0 - alpha)
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics for one measured quantity over trials."""
+
+    n: int
+    median: float
+    q25: float
+    q75: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_halfwidth(self) -> float:
+        return max(self.median - self.ci_low, self.ci_high - self.median)
+
+    @property
+    def iqr_width(self) -> float:
+        return self.q75 - self.q25
+
+
+def summarize_trials(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> TrialSummary:
+    """Median, IQR and bootstrap CI in one record."""
+    mid = median(samples)
+    q25, q75 = iqr(samples)
+    ci_low, ci_high = bootstrap_median_ci(samples, confidence, seed=seed)
+    return TrialSummary(
+        n=len(samples), median=mid, q25=q25, q75=q75, ci_low=ci_low, ci_high=ci_high
+    )

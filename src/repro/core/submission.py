@@ -1,0 +1,138 @@
+"""Third-party service submission (Appendix A / internetfairness.net).
+
+The Prudentia website lets service owners submit custom URLs for testing,
+gated by access codes.  This module reproduces that workflow: an access-
+code-validated portal that turns a submitted URL into a catalog entry (a
+web page load for ``http(s)`` URLs, a bulk download for file URLs) so the
+watchdog can schedule it like any first-party service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..cca.base import CongestionControl
+from ..cca.cubic import Cubic
+from ..services.catalog import ServiceCatalog, ServiceSpec
+from ..services.filetransfer import FileTransferService
+from ..services.web import PageSpec, ResourceSpec, WebPageService
+
+#: Access codes published in Appendix A of the paper.
+DEFAULT_ACCESS_CODES = (
+    "KD4p1Z8Gs1SVPHUrTOVTMNHtvUnMSmvZ",
+    "A7mH2gHPmtlhbpb8ajfe48oCzA7hp6VB",
+    "5PWWIvTUxZSYVhIuEiBEmOOOog8zgrGa",
+    "XrVzJ3evvkVpoAf3k54mYuY0tCgjTD2k",
+    "bTXmWjSdAmQf4ULItqH2JCR5oX8jZvhL",
+)
+
+#: File extensions treated as direct downloads rather than page loads.
+DOWNLOAD_EXTENSIONS = (".zip", ".iso", ".bin", ".tar", ".gz", ".mp4", ".dmg")
+
+
+class SubmissionError(ValueError):
+    """Invalid submission: bad access code or malformed URL."""
+
+
+@dataclass
+class Submission:
+    """One accepted third-party submission."""
+
+    url: str
+    service_id: str
+    kind: str  # "web" or "download"
+    submitter_code: str
+
+
+def _service_id_from_url(url: str) -> str:
+    stripped = url.split("://", 1)[-1]
+    host = stripped.split("/", 1)[0]
+    return "ext_" + host.replace(".", "_").replace(":", "_")
+
+
+class SubmissionPortal:
+    """Validates access codes and registers submitted services."""
+
+    def __init__(
+        self,
+        catalog: ServiceCatalog,
+        access_codes: Optional[List[str]] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.access_codes = set(
+            access_codes if access_codes is not None else DEFAULT_ACCESS_CODES
+        )
+        self.submissions: List[Submission] = []
+
+    def submit(
+        self,
+        url: str,
+        access_code: str,
+        cca_factory: Optional[Callable[[int], CongestionControl]] = None,
+        download_bytes: int = 10 * 10**9,
+        page_bytes: int = 2_000_000,
+    ) -> Submission:
+        """Register a URL for testing; returns the accepted submission.
+
+        The CCA of a third-party service is unknown to the watchdog, so
+        unless a factory is given we assume Cubic (the most common server
+        default) - the classifier can refine this later.
+        """
+        if access_code not in self.access_codes:
+            raise SubmissionError("invalid access code")
+        if "://" not in url or not url.split("://", 1)[-1]:
+            raise SubmissionError(f"malformed URL: {url!r}")
+        service_id = _service_id_from_url(url)
+        if service_id in self.catalog:
+            raise SubmissionError(f"{url!r} is already registered")
+
+        factory = cca_factory or (lambda i: Cubic())
+        is_download = url.lower().endswith(DOWNLOAD_EXTENSIONS)
+        if is_download:
+            spec = ServiceSpec(
+                service_id=service_id,
+                display_name=url,
+                category="file-transfer",
+                cca_label="unknown (assumed Cubic)",
+                num_flows=1,
+                in_heatmap=False,
+                notes=f"third-party submission: {url}",
+                factory=lambda seed, env, f=factory, sid=service_id, n=download_bytes: (
+                    FileTransferService(
+                        sid, cca_factory=f, file_bytes=n, display_name=url
+                    )
+                ),
+            )
+            kind = "download"
+        else:
+            host = url.split("://", 1)[-1].split("/", 1)[0]
+            page = PageSpec(
+                name=url,
+                html=ResourceSpec("html", max(50_000, page_bytes // 10), host),
+                subresources=[
+                    ResourceSpec(
+                        f"asset-{i}", max(10_000, page_bytes // 12), host
+                    )
+                    for i in range(9)
+                ],
+            )
+            spec = ServiceSpec(
+                service_id=service_id,
+                display_name=url,
+                category="web",
+                cca_label="unknown (assumed Cubic)",
+                num_flows=6,
+                in_heatmap=False,
+                notes=f"third-party submission: {url}",
+                factory=lambda seed, env, f=factory, sid=service_id, p=page: (
+                    WebPageService(sid, page=p, cca_factory=f, display_name=url)
+                ),
+            )
+            kind = "web"
+        self.catalog.register(spec)
+        submission = Submission(
+            url=url, service_id=service_id, kind=kind, submitter_code=access_code
+        )
+        self.submissions.append(submission)
+        return submission

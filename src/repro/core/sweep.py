@@ -1,0 +1,170 @@
+"""Parameter sweeps: how fairness moves with network settings.
+
+Section 6 (Observations 11 and 12) and the Section 9 future-work list all
+point the same way: fairness outcomes depend on bottleneck bandwidth,
+buffer depth, RTT, and background loss, so a watchdog must be able to
+sweep them.  This module provides those sweeps as first-class operations
+producing (parameter -> shares) curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from .. import units
+from ..config import ExperimentConfig, NetworkConfig
+from ..services.catalog import ServiceSpec
+from .experiment import ExperimentResult, run_pair_experiment
+from .stats import median
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter value's aggregated outcome for a pair."""
+
+    parameter: float
+    share_a: float
+    share_b: float
+    throughput_a_bps: float
+    throughput_b_bps: float
+    utilization: float
+
+
+def _aggregate(
+    results: Sequence[ExperimentResult], id_a: str, id_b: str
+) -> Tuple[float, float, float, float, float]:
+    def series(target: str, field: str) -> List[float]:
+        values = []
+        for result in results:
+            mapping = getattr(result, field)
+            for sid, value in mapping.items():
+                if sid.split("#")[0] == target:
+                    values.append(value)
+                    break
+        return values
+
+    return (
+        median(series(id_a, "mmf_share")),
+        median(series(id_b, "mmf_share")),
+        median(series(id_a, "throughput_bps")),
+        median(series(id_b, "throughput_bps")),
+        median([r.utilization for r in results]),
+    )
+
+
+def _run_points(
+    spec_a: ServiceSpec,
+    spec_b: ServiceSpec,
+    networks: Sequence[Tuple[float, NetworkConfig]],
+    config: ExperimentConfig,
+    trials: int,
+    base_seed: int,
+) -> List[SweepPoint]:
+    points = []
+    for parameter, network in networks:
+        results = [
+            run_pair_experiment(
+                spec_a, spec_b, network, config, seed=base_seed + trial
+            )
+            for trial in range(trials)
+        ]
+        share_a, share_b, thr_a, thr_b, util = _aggregate(
+            results, spec_a.service_id, spec_b.service_id
+        )
+        points.append(
+            SweepPoint(parameter, share_a, share_b, thr_a, thr_b, util)
+        )
+    return points
+
+
+def bandwidth_sweep(
+    spec_a: ServiceSpec,
+    spec_b: ServiceSpec,
+    bandwidths_mbps: Sequence[float],
+    config: ExperimentConfig,
+    base_network: Optional[NetworkConfig] = None,
+    trials: int = 3,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """Fairness vs bottleneck bandwidth (Fig 7 / Observation 12)."""
+    base = base_network or NetworkConfig(bandwidth_bps=units.mbps(8))
+    networks = [
+        (bw, base.with_bandwidth(units.mbps(bw))) for bw in bandwidths_mbps
+    ]
+    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+
+
+def buffer_sweep(
+    spec_a: ServiceSpec,
+    spec_b: ServiceSpec,
+    bdp_multiples: Sequence[float],
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    trials: int = 3,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """Fairness vs buffer depth (Observation 11)."""
+    networks = [
+        (multiple, network.with_buffer_multiple(multiple))
+        for multiple in bdp_multiples
+    ]
+    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+
+
+def rtt_sweep(
+    spec_a: ServiceSpec,
+    spec_b: ServiceSpec,
+    rtts_ms: Sequence[float],
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    trials: int = 3,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """Fairness vs normalised RTT (Section 9: network settings)."""
+    networks = [
+        (rtt, replace(network, base_rtt_usec=units.msec(rtt)))
+        for rtt in rtts_ms
+    ]
+    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+
+
+def background_loss_sweep(
+    spec_a: ServiceSpec,
+    spec_b: ServiceSpec,
+    loss_rates: Sequence[float],
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    trials: int = 3,
+    base_seed: int = 1,
+) -> List[SweepPoint]:
+    """Fairness vs random upstream loss (Section 9: background loss).
+
+    Note: trials with upstream loss would normally be *discarded* by the
+    watchdog's hygiene rule; this sweep is exactly the controlled study
+    the paper proposes instead.
+    """
+    networks = [
+        (rate, replace(network, external_loss_rate=rate))
+        for rate in loss_rates
+    ]
+    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+
+
+def render_sweep(
+    points: Sequence[SweepPoint],
+    label_a: str,
+    label_b: str,
+    parameter_name: str,
+) -> str:
+    """Fixed-width text rendering of a sweep curve."""
+    lines = [
+        f"{parameter_name:>12} {label_a + ' %MmF':>16} {label_b + ' %MmF':>16} "
+        f"{'util %':>8}"
+    ]
+    for point in points:
+        lines.append(
+            f"{point.parameter:>12.2f} {point.share_a * 100:>16.0f} "
+            f"{point.share_b * 100:>16.0f} {point.utilization * 100:>8.0f}"
+        )
+    return "\n".join(lines)

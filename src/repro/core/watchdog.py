@@ -1,0 +1,209 @@
+"""Prudentia itself: the continuously-running fairness watchdog.
+
+Ties the pieces together: the service catalog, the two bandwidth settings,
+solo calibration, the all-pairs round-robin scheduler with the CI trial
+policy, the result store, and report generation.  One ``run_cycle`` is the
+simulated equivalent of the paper's two-week sweep over all pairs in both
+settings; ``run_continuously`` repeats cycles the way the live deployment
+has since 2022.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..browser.environment import ClientEnvironment
+from ..config import (
+    ExperimentConfig,
+    NetworkConfig,
+    TrialPolicyConfig,
+    highly_constrained,
+    moderately_constrained,
+    trial_policy_for,
+)
+from ..services.catalog import ServiceCatalog, default_catalog
+from .calibration import SoloCalibration, calibrate_catalog, format_table1
+from .experiment import run_pair_experiment
+from .policy import TrialPolicy
+from .report import FairnessReport
+from .results import ResultStore
+from .scheduler import RoundRobinScheduler
+
+
+class Prudentia:
+    """The watchdog orchestrator.
+
+    Args:
+        catalog: service registry (defaults to the Table-1 catalog).
+        networks: bandwidth settings to sweep (defaults to the paper's
+            8 Mbps and 50 Mbps settings).
+        experiment_config: per-trial protocol (duration/trim); defaults to
+            the paper's 10-minute/2-minute-trim protocol - scale it down
+            via ``ExperimentConfig().scaled(seconds)`` for quick runs.
+        policy_overrides: per-bandwidth trial-policy configs; defaults to
+            the paper's min-10/max-30 with CI thresholds per setting.
+        env: client rendering environment (Section 3.3 fidelity).
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[ServiceCatalog] = None,
+        networks: Optional[Sequence[NetworkConfig]] = None,
+        experiment_config: Optional[ExperimentConfig] = None,
+        policy_overrides: Optional[Dict[float, TrialPolicyConfig]] = None,
+        env: Optional[ClientEnvironment] = None,
+        base_seed: int = 0,
+    ) -> None:
+        self.catalog = catalog or default_catalog()
+        self.networks = list(
+            networks
+            if networks is not None
+            else [highly_constrained(), moderately_constrained()]
+        )
+        self.experiment_config = experiment_config or ExperimentConfig()
+        self.policy_overrides = policy_overrides or {}
+        self.env = env or ClientEnvironment.faithful_testbed()
+        self.base_seed = base_seed
+        self.store = ResultStore()
+        self.calibrations: Dict[float, Dict[str, SoloCalibration]] = {}
+        self.cycles_completed = 0
+
+    # ------------------------------------------------------------------
+    # Calibration (Table 1)
+    # ------------------------------------------------------------------
+
+    def calibrate(
+        self,
+        network: Optional[NetworkConfig] = None,
+        service_ids: Optional[List[str]] = None,
+    ) -> Dict[str, SoloCalibration]:
+        """Solo-run services to find max rates / upstream throttles."""
+        net = network or self.networks[-1]
+        calibrations = calibrate_catalog(
+            self.catalog,
+            net,
+            self.experiment_config,
+            service_ids=service_ids,
+            seed=self.base_seed,
+        )
+        self.calibrations[net.bandwidth_bps] = calibrations
+        return calibrations
+
+    def table1(self, network: Optional[NetworkConfig] = None) -> str:
+        """Render the Table-1 service inventory from calibration data."""
+        net = network or self.networks[-1]
+        calibrations = self.calibrations.get(net.bandwidth_bps)
+        if calibrations is None:
+            calibrations = self.calibrate(net)
+        return format_table1(self.catalog, calibrations)
+
+    # ------------------------------------------------------------------
+    # All-pairs sweeps
+    # ------------------------------------------------------------------
+
+    def _policy_for(self, network: NetworkConfig) -> TrialPolicy:
+        override = self.policy_overrides.get(network.bandwidth_bps)
+        config = override if override is not None else trial_policy_for(network)
+        return TrialPolicy(config)
+
+    def run_cycle(
+        self,
+        service_ids: Optional[List[str]] = None,
+        include_self_pairs: bool = True,
+        networks: Optional[Sequence[NetworkConfig]] = None,
+        parallel_workers: Optional[int] = None,
+    ) -> ResultStore:
+        """One full all-pairs sweep over every configured setting.
+
+        ``parallel_workers`` fans trial batches out over a process pool
+        (the Section-9 scaling direction).  The trial policy and its
+        re-queueing behaviour are unchanged - each policy batch completes
+        before the next is scheduled.  Parallel mode requires the default
+        catalog (worker processes rebuild it by name) and uses the
+        faithful client environment.
+        """
+        ids = service_ids or self.catalog.heatmap_ids()
+        for network in networks or self.networks:
+            scheduler = RoundRobinScheduler(
+                ids,
+                self._policy_for(network),
+                include_self_pairs=include_self_pairs,
+                base_seed=self.base_seed + self.cycles_completed,
+            )
+            if parallel_workers:
+                self._drain_parallel(scheduler, network, parallel_workers)
+            else:
+                for (pair, seed) in scheduler.work_items():
+                    contender_id, incumbent_id = pair
+                    result = run_pair_experiment(
+                        self.catalog.get(contender_id),
+                        self.catalog.get(incumbent_id),
+                        network,
+                        self.experiment_config,
+                        seed=seed,
+                        env=self.env,
+                    )
+                    if result.valid:
+                        self.store.add(result)
+                    scheduler.record_result(pair, result.throughput_bps)
+        self.cycles_completed += 1
+        return self.store
+
+    def _drain_parallel(
+        self,
+        scheduler: RoundRobinScheduler,
+        network: NetworkConfig,
+        workers: int,
+    ) -> None:
+        """Run the scheduler's queued batches through a process pool."""
+        from .parallel import ParallelRunner, TrialSpec
+
+        runner = ParallelRunner(max_workers=workers)
+        while scheduler.pending():
+            batch = []
+            for pair, state in scheduler.states.items():
+                for offset in range(state.trials_queued):
+                    batch.append(
+                        (
+                            pair,
+                            TrialSpec(
+                                contender_id=pair[0],
+                                incumbent_id=pair[1],
+                                network=network,
+                                config=self.experiment_config,
+                                seed=scheduler._seed_for(
+                                    pair, state.trials_done + offset
+                                ),
+                            ),
+                        )
+                    )
+            results = runner.run([spec for _pair, spec in batch])
+            for (pair, _spec), result in zip(batch, results):
+                if result.valid:
+                    self.store.add(result)
+                scheduler.record_result(pair, result.throughput_bps)
+
+    def run_continuously(
+        self,
+        cycles: int,
+        service_ids: Optional[List[str]] = None,
+    ) -> ResultStore:
+        """Repeat all-pairs sweeps (the live-deployment mode)."""
+        if cycles < 1:
+            raise ValueError("need at least one cycle")
+        for _ in range(cycles):
+            self.run_cycle(service_ids=service_ids)
+        return self.store
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        network: NetworkConfig,
+        service_ids: Optional[List[str]] = None,
+    ) -> FairnessReport:
+        """A fairness report over everything measured at this setting."""
+        ids = service_ids or self.catalog.heatmap_ids()
+        return FairnessReport(self.store, ids, network.bandwidth_bps)

@@ -1,0 +1,120 @@
+"""The shared bottleneck link: drop-tail queue plus serialiser.
+
+Packets arriving from any server enter the drop-tail queue; a single
+serialiser drains the queue at the configured link rate, then hands each
+packet to its flow's receiver after the downstream propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import units
+from .engine import Engine
+from .packet import Packet
+from .queue import DropTailQueue
+from .trace import PacketTrace
+
+
+class BottleneckLink:
+    """Rate-limited link with an attached drop-tail FIFO.
+
+    Attributes:
+        rate_bps: serialisation rate.
+        post_delay_usec: propagation delay from the switch to the client.
+        queue: the attached :class:`DropTailQueue`.
+        delivered_bytes: per-service delivered-byte counters (wire bytes,
+            including retransmissions) since the last ``reset_stats``.
+    """
+
+    __slots__ = (
+        "engine",
+        "rate_bps",
+        "post_delay_usec",
+        "queue",
+        "trace",
+        "delivered_bytes",
+        "busy_usec",
+        "_busy",
+        "_last_busy_start",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate_bps: float,
+        queue: DropTailQueue,
+        post_delay_usec: int = 0,
+        trace: Optional[PacketTrace] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.engine = engine
+        self.rate_bps = rate_bps
+        self.post_delay_usec = post_delay_usec
+        self.queue = queue
+        self.trace = trace
+        self.delivered_bytes: Dict[str, int] = {}
+        self.busy_usec = 0
+        self._busy = False
+        self._last_busy_start = 0
+
+    def send(self, packet: Packet) -> None:
+        """Packet arrives at the switch; queue it and kick the serialiser."""
+        now = self.engine.now
+        accepted = self.queue.offer(packet, now)
+        log = self.queue.log
+        if log is not None:
+            log.maybe_sample(now, self.queue.occupancy)
+        if not accepted:
+            packet.flow.on_packet_dropped(packet)
+            return
+        if not self._busy:
+            self._busy = True
+            self._last_busy_start = now
+            self._serialize_next()
+
+    def _serialize_next(self) -> None:
+        packet = self.queue.pop(self.engine.now)
+        if packet is None:
+            self._busy = False
+            self.busy_usec += self.engine.now - self._last_busy_start
+            return
+        ser = units.serialization_time_usec(packet.size_bytes, self.rate_bps)
+        self.engine.schedule(ser, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: Packet) -> None:
+        service_id = packet.flow.service_id
+        self.delivered_bytes[service_id] = (
+            self.delivered_bytes.get(service_id, 0) + packet.size_bytes
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.engine.now + self.post_delay_usec,
+                service_id,
+                packet.size_bytes,
+            )
+        if self.post_delay_usec:
+            self.engine.schedule(
+                self.post_delay_usec,
+                lambda p=packet: p.flow.on_packet_arrived(p),
+            )
+        else:
+            packet.flow.on_packet_arrived(packet)
+        self._serialize_next()
+
+    def utilization(self, window_usec: int) -> float:
+        """Fraction of ``window_usec`` worth of capacity actually delivered."""
+        if window_usec <= 0:
+            raise ValueError("window must be positive")
+        total_bytes = sum(self.delivered_bytes.values())
+        capacity_bytes = self.rate_bps * window_usec / units.USEC_PER_SEC / 8
+        return total_bytes / capacity_bytes if capacity_bytes else 0.0
+
+    def reset_stats(self) -> None:
+        """Clear delivery counters (when the measurement window opens)."""
+        self.delivered_bytes.clear()
+        self.queue.reset_stats()
+        self.busy_usec = 0
+        if self._busy:
+            self._last_busy_start = self.engine.now

@@ -1,0 +1,67 @@
+"""Packet objects carried through the simulated network."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Packet:
+    """A data packet in flight.
+
+    Slots keep packet allocation cheap; an experiment at 50 Mbps moves a few
+    hundred thousand of these.  The ``delivered``/``delivered_time`` pair
+    carries BBR-style delivery-rate sampling state, snapshotted at send time
+    (RFC draft-cheng-iccrg-delivery-rate-estimation).
+    """
+
+    __slots__ = (
+        "flow",
+        "seq",
+        "size_bytes",
+        "sent_time",
+        "tx_index",
+        "is_retransmit",
+        "delivered",
+        "delivered_time",
+        "first_sent_time",
+        "is_app_limited",
+        "arrival_time",
+        "dequeue_time",
+    )
+
+    def __init__(
+        self,
+        flow: Any,
+        seq: int,
+        size_bytes: int,
+        sent_time: int,
+        is_retransmit: bool = False,
+    ) -> None:
+        self.flow = flow
+        self.seq = seq
+        self.size_bytes = size_bytes
+        self.sent_time = sent_time
+        self.tx_index = 0
+        self.is_retransmit = is_retransmit
+        # Delivery-rate sampling snapshot, filled by the sender.
+        self.delivered = 0
+        self.delivered_time = 0
+        self.first_sent_time = 0
+        self.is_app_limited = False
+        # Bottleneck bookkeeping, filled by the queue/link.
+        self.arrival_time: Optional[int] = None
+        self.dequeue_time: Optional[int] = None
+
+    @property
+    def queueing_delay_usec(self) -> Optional[int]:
+        """Time spent waiting in the bottleneck queue, if it was dequeued."""
+        if self.arrival_time is None or self.dequeue_time is None:
+            return None
+        return self.dequeue_time - self.arrival_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flow_id = getattr(self.flow, "flow_id", "?")
+        return (
+            f"Packet(flow={flow_id}, seq={self.seq}, "
+            f"size={self.size_bytes}, rtx={self.is_retransmit})"
+        )

@@ -1,0 +1,107 @@
+"""Drop-tail FIFO bottleneck queue with per-service accounting.
+
+This mirrors what the paper measures at the BESS switch: arrivals, drops,
+occupancy over time, and per-packet queueing delay, all attributable to the
+service that sent the packet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from .packet import Packet
+from .trace import QueueLog
+
+
+class DropTailQueue:
+    """Fixed-capacity (in packets) drop-tail FIFO.
+
+    Attributes:
+        capacity_packets: maximum number of queued packets; arrivals beyond
+            this are dropped (tail drop).
+        arrivals / drops: per-service counters keyed by ``service_id``.
+    """
+
+    __slots__ = (
+        "capacity_packets",
+        "_queue",
+        "arrivals",
+        "drops",
+        "queue_delay_sum_usec",
+        "queue_delay_samples",
+        "log",
+    )
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        log: Optional[QueueLog] = None,
+    ) -> None:
+        if capacity_packets < 1:
+            raise ValueError("queue capacity must be at least one packet")
+        self.capacity_packets = capacity_packets
+        self._queue: Deque[Packet] = deque()
+        self.arrivals: Dict[str, int] = {}
+        self.drops: Dict[str, int] = {}
+        self.queue_delay_sum_usec: Dict[str, int] = {}
+        self.queue_delay_samples: Dict[str, int] = {}
+        self.log = log
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of queued packets."""
+        return len(self._queue)
+
+    def offer(self, packet: Packet, now: int) -> bool:
+        """Enqueue ``packet``; returns False (and counts a drop) if full."""
+        service_id = packet.flow.service_id
+        self.arrivals[service_id] = self.arrivals.get(service_id, 0) + 1
+        if len(self._queue) >= self.capacity_packets:
+            self.drops[service_id] = self.drops.get(service_id, 0) + 1
+            if self.log is not None:
+                self.log.record_drop(now, service_id)
+            return False
+        packet.arrival_time = now
+        self._queue.append(packet)
+        return True
+
+    def pop(self, now: int) -> Optional[Packet]:
+        """Dequeue the head packet, recording its queueing delay."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        packet.dequeue_time = now
+        service_id = packet.flow.service_id
+        delay = now - packet.arrival_time
+        self.queue_delay_sum_usec[service_id] = (
+            self.queue_delay_sum_usec.get(service_id, 0) + delay
+        )
+        self.queue_delay_samples[service_id] = (
+            self.queue_delay_samples.get(service_id, 0) + 1
+        )
+        return packet
+
+    def loss_rate(self, service_id: str) -> float:
+        """Fraction of this service's arrivals that were tail-dropped."""
+        arrived = self.arrivals.get(service_id, 0)
+        if arrived == 0:
+            return 0.0
+        return self.drops.get(service_id, 0) / arrived
+
+    def mean_queueing_delay_usec(self, service_id: str) -> float:
+        """Average queueing delay of this service's delivered packets."""
+        samples = self.queue_delay_samples.get(service_id, 0)
+        if samples == 0:
+            return 0.0
+        return self.queue_delay_sum_usec[service_id] / samples
+
+    def reset_stats(self) -> None:
+        """Clear counters (used when the measurement window opens)."""
+        self.arrivals.clear()
+        self.drops.clear()
+        self.queue_delay_sum_usec.clear()
+        self.queue_delay_samples.clear()

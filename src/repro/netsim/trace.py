@@ -1,0 +1,115 @@
+"""Experiment artifacts: queue logs and per-packet traces.
+
+The Prudentia website publishes "bottleneck queue logs and client PCAPs for
+every experiment"; these classes are the in-simulator equivalents.  Both are
+plain columnar records that serialise to JSON for the result store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class QueueLog:
+    """Sampled bottleneck-queue occupancy plus drop events.
+
+    Occupancy is sampled on a fixed period (default 10 ms) by the link's
+    serialiser loop; this keeps the log size bounded regardless of packet
+    rate while still resolving the burst/drain dynamics shown in Fig 8.
+    """
+
+    def __init__(self, sample_period_usec: int = 10_000) -> None:
+        if sample_period_usec < 1:
+            raise ValueError("sample period must be positive")
+        self.sample_period_usec = sample_period_usec
+        self.samples: List[Tuple[int, int]] = []
+        self.drop_events: List[Tuple[int, str]] = []
+        self._next_sample_usec = 0
+
+    def maybe_sample(self, now: int, occupancy: int) -> None:
+        """Record occupancy if the sampling period has elapsed."""
+        if now >= self._next_sample_usec:
+            self.samples.append((now, occupancy))
+            self._next_sample_usec = now + self.sample_period_usec
+
+    def record_drop(self, now: int, service_id: str) -> None:
+        """Log one tail-drop event."""
+        self.drop_events.append((now, service_id))
+
+    def occupancy_series(self) -> Tuple[List[int], List[int]]:
+        """(times_usec, occupancy) columns for plotting."""
+        if not self.samples:
+            return [], []
+        times, occs = zip(*self.samples)
+        return list(times), list(occs)
+
+    def to_json(self) -> Dict:
+        """Serialise the log for artifact publication."""
+        return {
+            "sample_period_usec": self.sample_period_usec,
+            "samples": self.samples,
+            "drop_events": self.drop_events,
+        }
+
+
+class PacketTrace:
+    """Per-packet delivery records for one experiment ("client PCAP").
+
+    Recording every packet is expensive, so traces are opt-in (enabled for
+    the time-series figures and for artifact publication, disabled for bulk
+    heatmap sweeps).  Each record is
+    ``(deliver_time_usec, service_id, size_bytes)``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[Tuple[int, str, int]] = []
+
+    def record(self, now: int, service_id: str, size_bytes: int) -> None:
+        """Record one delivered packet (no-op when disabled)."""
+        if self.enabled:
+            self.records.append((now, service_id, size_bytes))
+
+    def throughput_series(
+        self,
+        service_id: str,
+        bin_usec: int = 1_000_000,
+        start_usec: int = 0,
+        end_usec: Optional[int] = None,
+    ) -> Tuple[List[float], List[float]]:
+        """Binned throughput (seconds, Mbps) for one service."""
+        if bin_usec < 1:
+            raise ValueError("bin width must be positive")
+        bins: Dict[int, int] = {}
+        last = 0
+        for when, sid, size in self.records:
+            if sid != service_id or when < start_usec:
+                continue
+            if end_usec is not None and when >= end_usec:
+                continue
+            index = (when - start_usec) // bin_usec
+            bins[index] = bins.get(index, 0) + size
+            last = max(last, index)
+        times = [(i * bin_usec + start_usec) / 1e6 for i in range(last + 1)]
+        rates = [bins.get(i, 0) * 8.0 / bin_usec for i in range(last + 1)]
+        return times, rates
+
+    def bytes_delivered(
+        self,
+        service_id: str,
+        start_usec: int = 0,
+        end_usec: Optional[int] = None,
+    ) -> int:
+        """Total bytes delivered to ``service_id`` within a window."""
+        total = 0
+        for when, sid, size in self.records:
+            if sid != service_id or when < start_usec:
+                continue
+            if end_usec is not None and when >= end_usec:
+                continue
+            total += size
+        return total
+
+    def to_json(self) -> Dict:
+        """Serialise the trace for artifact publication."""
+        return {"records": self.records}

@@ -1,0 +1,36 @@
+"""End-to-end service models: the workloads of Table 1.
+
+Each service couples one or more transport flows with the application
+behaviour the paper documents for it - ABR ladders and playback buffers for
+video, Mega's batch-of-five chunk scheduler, RTC frame sources with QoE
+accounting, web page loads - because the paper's core finding is that this
+application layer, not the CCA alone, decides fairness outcomes.
+"""
+
+from .base import Service
+from .iperf import IperfService
+from .filetransfer import FileTransferService, MegaTransferService
+from .abr import BitrateLadder, ConservativeABR, BufferRateABR
+from .video import VideoOnDemandService
+from .rtc import RtcService, RtcMetrics
+from .web import WebPageService, PageSpec, ResourceSpec
+from .catalog import ServiceCatalog, ServiceSpec, default_catalog
+
+__all__ = [
+    "Service",
+    "IperfService",
+    "FileTransferService",
+    "MegaTransferService",
+    "BitrateLadder",
+    "ConservativeABR",
+    "BufferRateABR",
+    "VideoOnDemandService",
+    "RtcService",
+    "RtcMetrics",
+    "WebPageService",
+    "PageSpec",
+    "ResourceSpec",
+    "ServiceCatalog",
+    "ServiceSpec",
+    "default_catalog",
+]

@@ -1,0 +1,187 @@
+"""Adaptive-bitrate ladders and algorithms.
+
+Observation 2's punchline is that YouTube's ABR - its stability preference
+and discrete bitrate ladder - is what makes a BBR-backed service
+uncontentious.  Two ABR families are modelled:
+
+* :class:`ConservativeABR` (YouTube/Vimeo-style): a safety factor on the
+  throughput estimate, one-rung-at-a-time up-switching with hysteresis.
+* :class:`BufferRateABR` (Netflix-style): buffer-occupancy-scaled rate
+  targeting that grabs high rungs eagerly when the buffer is healthy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class BitrateLadder:
+    """An ascending list of encoded bitrates (bits per second)."""
+
+    def __init__(self, rungs_bps: Sequence[float]) -> None:
+        rungs = list(rungs_bps)
+        if not rungs:
+            raise ValueError("ladder needs at least one rung")
+        if sorted(rungs) != rungs:
+            raise ValueError("ladder rungs must be ascending")
+        if any(r <= 0 for r in rungs):
+            raise ValueError("ladder rungs must be positive")
+        self.rungs_bps: List[float] = rungs
+
+    def __len__(self) -> int:
+        return len(self.rungs_bps)
+
+    def __getitem__(self, index: int) -> float:
+        return self.rungs_bps[index]
+
+    @property
+    def top_bps(self) -> float:
+        return self.rungs_bps[-1]
+
+    def best_below(self, rate_bps: float) -> int:
+        """Highest rung index with bitrate <= rate_bps (at least 0)."""
+        best = 0
+        for index, rung in enumerate(self.rungs_bps):
+            if rung <= rate_bps:
+                best = index
+        return best
+
+
+class ThroughputEstimator:
+    """Harmonic mean of the last N chunk download rates.
+
+    The harmonic mean weights slow chunks heavily, which is what real
+    players use to avoid overestimating after one lucky chunk.
+    """
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._samples: List[float] = []
+
+    def add(self, rate_bps: float) -> None:
+        """Feed one chunk's measured download rate."""
+        if rate_bps <= 0:
+            return
+        self._samples.append(rate_bps)
+        if len(self._samples) > self.window:
+            self._samples.pop(0)
+
+    @property
+    def estimate_bps(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return len(self._samples) / sum(1.0 / s for s in self._samples)
+
+
+class AbrAlgorithm:
+    """Strategy interface: choose the next chunk's ladder rung."""
+
+    name = "abr"
+
+    def choose(
+        self,
+        ladder: BitrateLadder,
+        estimate_bps: Optional[float],
+        buffer_sec: float,
+        current_index: int,
+        max_index: Optional[int] = None,
+    ) -> int:
+        """Return the ladder index for the next chunk."""
+        raise NotImplementedError
+
+
+class ConservativeABR(AbrAlgorithm):
+    """Stability-first ABR (YouTube-like).
+
+    Applies a safety factor to the estimate, climbs one rung at a time and
+    only when the estimate comfortably exceeds the next rung, but drops
+    immediately when the safe rate falls below the current rung.
+    """
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        safety: float = 0.75,
+        up_hysteresis: float = 1.25,
+        panic_buffer_sec: float = 5.0,
+    ) -> None:
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        self.safety = safety
+        self.up_hysteresis = up_hysteresis
+        self.panic_buffer_sec = panic_buffer_sec
+
+    def choose(
+        self,
+        ladder: BitrateLadder,
+        estimate_bps: Optional[float],
+        buffer_sec: float,
+        current_index: int,
+        max_index: Optional[int] = None,
+    ) -> int:
+        """Safety-factored pick with one-rung hysteretic up-switching."""
+        ceiling = len(ladder) - 1 if max_index is None else min(max_index, len(ladder) - 1)
+        if estimate_bps is None:
+            return min(current_index, ceiling)
+        if buffer_sec < self.panic_buffer_sec:
+            # Nearly stalled: take the safest rung that the estimate can
+            # sustain with a wide margin.
+            return min(ladder.best_below(0.5 * estimate_bps), ceiling)
+        safe = ladder.best_below(self.safety * estimate_bps)
+        safe = min(safe, ceiling)
+        if safe > current_index:
+            next_index = current_index + 1
+            if estimate_bps >= self.up_hysteresis * ladder[next_index]:
+                return min(next_index, ceiling)
+            return min(current_index, ceiling)
+        return safe
+
+
+class BufferRateABR(AbrAlgorithm):
+    """Buffer-scaled rate targeting (Netflix-like).
+
+    The deeper the playback buffer, the more aggressively the estimate is
+    trusted; a shallow buffer forces the bottom rung.  Multi-rung jumps are
+    allowed in both directions.
+    """
+
+    name = "buffer-rate"
+
+    def __init__(
+        self,
+        aggressive_factor: float = 0.95,
+        normal_factor: float = 0.8,
+        deep_buffer_sec: float = 15.0,
+        shallow_buffer_sec: float = 6.0,
+        panic_buffer_sec: float = 3.0,
+    ) -> None:
+        self.aggressive_factor = aggressive_factor
+        self.normal_factor = normal_factor
+        self.deep_buffer_sec = deep_buffer_sec
+        self.shallow_buffer_sec = shallow_buffer_sec
+        self.panic_buffer_sec = panic_buffer_sec
+
+    def choose(
+        self,
+        ladder: BitrateLadder,
+        estimate_bps: Optional[float],
+        buffer_sec: float,
+        current_index: int,
+        max_index: Optional[int] = None,
+    ) -> int:
+        """Buffer-occupancy-scaled rate targeting with multi-rung jumps."""
+        ceiling = len(ladder) - 1 if max_index is None else min(max_index, len(ladder) - 1)
+        if buffer_sec < self.panic_buffer_sec:
+            return 0
+        if estimate_bps is None:
+            return min(current_index, ceiling)
+        if buffer_sec >= self.deep_buffer_sec:
+            factor = self.aggressive_factor
+        elif buffer_sec >= self.shallow_buffer_sec:
+            factor = self.normal_factor
+        else:
+            factor = 0.6
+        return min(ladder.best_below(factor * estimate_bps), ceiling)

@@ -1,0 +1,137 @@
+"""Service abstraction: a workload attached to the testbed.
+
+A service owns one or more flows to the shared client, plus whatever
+application logic drives them.  The experiment runner attaches services to
+a :class:`~repro.netsim.topology.Dumbbell`, starts them, and reads both
+network-level stats (from the bottleneck) and service-level metrics (from
+:meth:`Service.metrics`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .. import units
+from ..netsim.topology import Dumbbell, Path
+from ..transport.connection import Connection
+from ..cca.base import CongestionControl
+
+
+class Service:
+    """Base class for every workload in the catalog.
+
+    Subclasses implement :meth:`_build` (create flows) and :meth:`start`
+    (kick off the application), and may override :meth:`metrics` and
+    :meth:`on_measure_start` for windowed QoE accounting.
+    """
+
+    category = "generic"
+
+    def __init__(
+        self,
+        service_id: str,
+        display_name: Optional[str] = None,
+        native_rtt_usec: Optional[int] = None,
+    ) -> None:
+        self.service_id = service_id
+        self.display_name = display_name or service_id
+        self.native_rtt_usec = native_rtt_usec
+        self.bell: Optional[Dumbbell] = None
+        self.path: Optional[Path] = None
+        self.connections: List[Connection] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, bell: Dumbbell) -> None:
+        """Bind this service to a testbed (creates its RTT-normalised path)."""
+        if self.bell is not None:
+            raise RuntimeError(f"service {self.service_id} already attached")
+        self.bell = bell
+        self.path = bell.path_for_service(self.service_id, self.native_rtt_usec)
+        self._build()
+
+    def start(self) -> None:
+        """Begin the workload; must be called after :meth:`attach`."""
+        if self.bell is None:
+            raise RuntimeError(f"service {self.service_id} is not attached")
+        if self._started:
+            raise RuntimeError(f"service {self.service_id} already started")
+        self._started = True
+        self._run()
+
+    def _build(self) -> None:
+        """Create flows; override in subclasses."""
+
+    def _run(self) -> None:
+        """Start the application control loop; override in subclasses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+
+    def make_connection(
+        self,
+        cca: CongestionControl,
+        flow_index: int,
+        server_rate_cap_bps: Optional[float] = None,
+    ) -> Connection:
+        """Create one reliable flow on this service's path."""
+        assert self.bell is not None and self.path is not None
+        conn = Connection(
+            self.bell.engine,
+            self.path,
+            cca,
+            service_id=self.service_id,
+            flow_id=f"{self.service_id}-{flow_index}",
+            mss_bytes=self.bell.network.mss_bytes,
+            server_rate_cap_bps=server_rate_cap_bps,
+        )
+        self.connections.append(conn)
+        return conn
+
+    @property
+    def engine(self):
+        assert self.bell is not None
+        return self.bell.engine
+
+    def schedule(self, delay_usec: int, callback: Callable[[], None]) -> None:
+        """Schedule an application-level event on the testbed engine."""
+        self.engine.schedule(delay_usec, callback)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    @property
+    def bytes_received(self) -> int:
+        """Unique application bytes received across all flows."""
+        return sum(conn.bytes_received for conn in self.connections)
+
+    def on_measure_start(self) -> None:
+        """Measurement window opened; reset windowed QoE counters."""
+
+    def metrics(self) -> Dict[str, float]:
+        """Service-specific QoE metrics for the measurement window."""
+        return {}
+
+    def solo_rate_cap_bps(self) -> Optional[float]:
+        """The service's intrinsic maximum rate, if any (Table 1 column).
+
+        Video/RTC services are capped by their top bitrate; OneDrive by an
+        upstream throttle.  ``None`` means the service can fill any link.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.service_id}>"
+
+
+def mbps_received(service: Service, window_usec: int) -> float:
+    """Convenience: service goodput over a window, in Mbps."""
+    if window_usec <= 0:
+        raise ValueError("window must be positive")
+    return service.bytes_received * 8 / (window_usec / units.USEC_PER_SEC) / 1e6

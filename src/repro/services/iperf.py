@@ -1,0 +1,48 @@
+"""iPerf baseline services: N infinitely-backlogged bulk flows.
+
+These are the paper's baselines (Table 1: iPerf BBR / Cubic / Reno on
+Linux 5.15) and the '5 x BBR flows' comparator of Observation 4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..cca.base import CongestionControl
+from .base import Service
+
+#: Large enough to outlast any experiment: effectively infinite backlog.
+BULK_BYTES = 10**13
+
+
+class IperfService(Service):
+    """``iperf -P n``: n bulk flows with a given congestion controller."""
+
+    category = "baseline"
+
+    def __init__(
+        self,
+        service_id: str,
+        cca_factory: Callable[[int], CongestionControl],
+        num_flows: int = 1,
+        display_name: Optional[str] = None,
+        server_rate_cap_bps: Optional[float] = None,
+    ) -> None:
+        super().__init__(service_id, display_name)
+        if num_flows < 1:
+            raise ValueError("need at least one flow")
+        self.cca_factory = cca_factory
+        self.num_flows = num_flows
+        self.server_rate_cap_bps = server_rate_cap_bps
+
+    def _build(self) -> None:
+        for index in range(self.num_flows):
+            self.make_connection(
+                self.cca_factory(index),
+                index,
+                server_rate_cap_bps=self.server_rate_cap_bps,
+            )
+
+    def _run(self) -> None:
+        for conn in self.connections:
+            conn.request(BULK_BYTES)

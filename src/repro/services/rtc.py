@@ -1,0 +1,353 @@
+"""Real-time communication services (Google Meet / Microsoft Teams).
+
+An RTC service is an unreliable, paced media flow: the sender emits video
+frames at the rate/fps its adaptation policy picks, a feedback loop reports
+receive rate, delay and loss to the rate controller (GCC for Meet, the
+Teams-like controller for Teams), and the receiver computes the paper's
+Table-2 QoE metrics: majority resolution, average FPS, freezes per minute
+(the WebRTC freeze definition), and the fraction of packets exceeding the
+ITU 190 ms RTT requirement.
+
+The two services' *adaptation policies* differ per Observation 5: Meet
+degrades resolution first and protects frame rate; Teams holds resolution
+and lets FPS sag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import units
+from ..netsim.packet import Packet
+from .base import Service
+
+#: ITU requirement the paper checks packets against (190 ms RTT).
+ITU_RTT_LIMIT_USEC = units.msec(190)
+
+#: Feedback (RTCP-like) reporting period.
+FEEDBACK_PERIOD_USEC = units.msec(100)
+
+#: Keyframe cadence and size multiplier.
+KEYFRAME_PERIOD_USEC = units.seconds(3)
+KEYFRAME_FACTOR = 3.0
+
+
+class _Frame:
+    """Sender-side record of one video frame in flight."""
+
+    __slots__ = ("frame_id", "packets_total", "packets_received", "dropped", "sent_time")
+
+    def __init__(self, frame_id: int, packets_total: int, sent_time: int) -> None:
+        self.frame_id = frame_id
+        self.packets_total = packets_total
+        self.packets_received = 0
+        self.dropped = False
+        self.sent_time = sent_time
+
+
+class RtcAdaptationPolicy:
+    """Maps a target rate to (resolution height, frames per second)."""
+
+    #: (minimum rate bps, resolution height) pairs, descending.
+    resolution_ladder: List[Tuple[float, int]] = [
+        (units.mbps(1.0), 720),
+        (units.mbps(0.5), 480),
+        (units.mbps(0.3), 360),
+        (units.mbps(0.15), 240),
+        (0.0, 180),
+    ]
+
+    def select(self, rate_bps: float) -> Tuple[int, float]:
+        """Pick (resolution height, fps) for the given media rate."""
+        raise NotImplementedError
+        """Pick (resolution height, fps) for the given media rate."""
+
+
+class MeetAdaptationPolicy(RtcAdaptationPolicy):
+    """Resolution-first degradation: FPS is protected (Observation 5)."""
+
+    def select(self, rate_bps: float) -> Tuple[int, float]:
+        """Downscale resolution as rate falls; never touch the 30 fps."""
+        for min_rate, height in self.resolution_ladder:
+            if rate_bps >= min_rate:
+                return height, 30.0
+        return 180, 30.0
+
+
+class TeamsAdaptationPolicy(RtcAdaptationPolicy):
+    """Resolution-holding degradation: FPS is sacrificed (Observation 5)."""
+
+    #: Approximate bits per frame needed to hold a resolution at decent
+    #: quality (height -> bits/frame).
+    BITS_PER_FRAME = {720: 45_000, 480: 25_000, 360: 15_000, 240: 9_000, 180: 6_000}
+
+    def select(self, rate_bps: float) -> Tuple[int, float]:
+        """Hold resolution while the rate affords >=10 fps; pay in FPS."""
+        # Hold the highest resolution whose minimum watchable frame rate
+        # (10 fps) still fits in the rate; spend whatever is left on FPS.
+        for height in (720, 480, 360, 240, 180):
+            needed = self.BITS_PER_FRAME[height] * 10
+            if rate_bps >= needed:
+                fps = min(30.0, rate_bps / self.BITS_PER_FRAME[height])
+                return height, max(10.0, fps)
+        return 180, 10.0
+
+
+class RtcMetrics:
+    """Windowed QoE accounting for one RTC service."""
+
+    def __init__(self) -> None:
+        self.reset(0)
+
+    def reset(self, now: int) -> None:
+        """Open a fresh QoE accounting window at ``now``."""
+        self.window_start = now
+        self.frames_rendered = 0
+        self.freezes = 0
+        self.packets_total = 0
+        self.packets_high_delay = 0
+        self.resolution_time_usec: Dict[int, int] = {}
+        self._last_render_time: Optional[int] = None
+        self._mean_interarrival_usec = 33_333.0
+        # RFC 3550 interarrival-jitter estimator state.
+        self._last_transit_usec: Optional[int] = None
+        self._jitter_usec = 0.0
+        self._delay_sum_usec = 0.0
+
+    def on_frame_rendered(self, now: int) -> None:
+        """A complete frame reached the screen; updates FPS/freezes."""
+        self.frames_rendered += 1
+        if self._last_render_time is not None:
+            gap = now - self._last_render_time
+            delta = self._mean_interarrival_usec
+            if gap > max(3 * delta, delta + units.msec(150)):
+                self.freezes += 1
+            self._mean_interarrival_usec = 0.9 * delta + 0.1 * gap
+        self._last_render_time = now
+
+    def on_packet(self, rtt_equivalent_usec: int) -> None:
+        """Account one received media packet's delay (ITU check, jitter)."""
+        self.packets_total += 1
+        self._delay_sum_usec += rtt_equivalent_usec
+        if rtt_equivalent_usec > ITU_RTT_LIMIT_USEC:
+            self.packets_high_delay += 1
+        # RFC 3550 jitter: smoothed absolute transit-time variation.
+        if self._last_transit_usec is not None:
+            variation = abs(rtt_equivalent_usec - self._last_transit_usec)
+            self._jitter_usec += (variation - self._jitter_usec) / 16.0
+        self._last_transit_usec = rtt_equivalent_usec
+
+    def add_resolution_time(self, height: int, span_usec: int) -> None:
+        """Accumulate time spent at a resolution (majority metric)."""
+        self.resolution_time_usec[height] = (
+            self.resolution_time_usec.get(height, 0) + span_usec
+        )
+
+    def summary(self, now: int) -> Dict[str, float]:
+        """The Table-2 QoE metrics for the window ending at ``now``."""
+        window = max(1, now - self.window_start)
+        window_sec = window / units.USEC_PER_SEC
+        majority_resolution = 0
+        if self.resolution_time_usec:
+            majority_resolution = max(
+                self.resolution_time_usec, key=self.resolution_time_usec.get
+            )
+        return {
+            "resolution_p": float(majority_resolution),
+            "avg_fps": self.frames_rendered / window_sec,
+            "freezes_per_minute": self.freezes * 60.0 / window_sec,
+            "fraction_high_delay": (
+                self.packets_high_delay / self.packets_total
+                if self.packets_total
+                else 0.0
+            ),
+            "jitter_ms": self._jitter_usec / 1000.0,
+            "mean_rtt_ms": (
+                self._delay_sum_usec / self.packets_total / 1000.0
+                if self.packets_total
+                else 0.0
+            ),
+        }
+
+
+class RtcService(Service):
+    """A live video call: paced frames + rate controller + QoE receiver."""
+
+    category = "rtc"
+
+    def __init__(
+        self,
+        service_id: str,
+        controller,
+        policy: RtcAdaptationPolicy,
+        display_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(service_id, display_name)
+        self.controller = controller
+        self.policy = policy
+        self.qoe = RtcMetrics()
+
+        self._frame_counter = 0
+        self._packet_counter = 0
+        self._frames: Dict[int, _Frame] = {}
+        self._seq_to_frame: Dict[int, int] = {}
+        self._last_keyframe_usec = 0
+        self._current_height = 720
+        self._current_fps = 30.0
+        self._last_resolution_update = 0
+
+        # Feedback-interval accumulators.
+        self._fb_bytes_received = 0
+        self._fb_packets_sent = 0
+        self._fb_packets_lost = 0
+        self._fb_delay_sum = 0.0
+        self._fb_delay_samples = 0
+
+        self._media_bytes_received = 0
+
+    # The media flow *is* the service (duck-typed flow interface).
+    @property
+    def flow_id(self) -> str:
+        return f"{self.service_id}-media"
+
+    def _build(self) -> None:
+        pass  # no reliable connections; packets are sent directly
+
+    def _run(self) -> None:
+        now = self.engine.now
+        self.qoe.reset(now)
+        self._last_resolution_update = now
+        self._send_frame()
+        self.schedule(FEEDBACK_PERIOD_USEC, self._feedback_tick)
+
+    def solo_rate_cap_bps(self) -> Optional[float]:
+        return self.controller.max_rate_bps
+
+    @property
+    def bytes_received(self) -> int:
+        return self._media_bytes_received
+
+    # ------------------------------------------------------------------
+    # Sender: frame pacing
+    # ------------------------------------------------------------------
+
+    def _send_frame(self) -> None:
+        now = self.engine.now
+        rate = self.controller.target_rate_bps
+        height, fps = self.policy.select(rate)
+        if height != self._current_height:
+            self.qoe.add_resolution_time(
+                self._current_height, now - self._last_resolution_update
+            )
+            self._current_height = height
+            self._last_resolution_update = now
+        self._current_fps = fps
+
+        frame_bits = rate / fps
+        if now - self._last_keyframe_usec >= KEYFRAME_PERIOD_USEC:
+            frame_bits *= KEYFRAME_FACTOR
+            self._last_keyframe_usec = now
+        frame_bytes = max(200, int(frame_bits / 8))
+
+        mss = self.bell.network.mss_bytes
+        npackets = max(1, -(-frame_bytes // mss))
+        frame = _Frame(self._frame_counter, npackets, now)
+        self._frames[self._frame_counter] = frame
+        self._frame_counter += 1
+        remaining = frame_bytes
+        for _ in range(npackets):
+            size = min(mss, max(200, remaining))
+            remaining -= size
+            packet = Packet(self, self._packet_counter, size, now)
+            self._seq_to_frame[self._packet_counter] = frame.frame_id
+            self._packet_counter += 1
+            self._fb_packets_sent += 1
+            self.path.transmit(packet)
+        self.schedule(int(units.USEC_PER_SEC / fps), self._send_frame)
+
+    # ------------------------------------------------------------------
+    # Receiver: flow interface invoked by the bottleneck link
+    # ------------------------------------------------------------------
+
+    def on_packet_arrived(self, packet: Packet) -> None:
+        """Media packet reached the client: QoE + frame accounting."""
+        now = self.engine.now
+        one_way = now - packet.sent_time
+        rtt_equivalent = one_way + self.path.rev_delay_usec
+        self.qoe.on_packet(rtt_equivalent)
+        self._fb_bytes_received += packet.size_bytes
+        self._fb_delay_sum += one_way
+        self._fb_delay_samples += 1
+        self._media_bytes_received += packet.size_bytes
+
+        frame_id = self._seq_to_frame.pop(packet.seq, None)
+        if frame_id is None:
+            return
+        frame = self._frames.get(frame_id)
+        if frame is None:
+            return
+        frame.packets_received += 1
+        if frame.packets_received >= frame.packets_total:
+            del self._frames[frame_id]
+            if not frame.dropped:
+                self.qoe.on_frame_rendered(now)
+
+    def on_packet_dropped(self, packet: Packet) -> None:
+        """Tail drop: the owning frame can never render (no media rtx)."""
+        self._fb_packets_lost += 1
+        frame_id = self._seq_to_frame.pop(packet.seq, None)
+        if frame_id is None:
+            return
+        frame = self._frames.get(frame_id)
+        if frame is not None:
+            # An incomplete frame is never rendered (no media rtx/FEC).
+            frame.dropped = True
+            frame.packets_received += 1
+            if frame.packets_received >= frame.packets_total:
+                del self._frames[frame_id]
+
+    # ------------------------------------------------------------------
+    # Feedback loop
+    # ------------------------------------------------------------------
+
+    def _feedback_tick(self) -> None:
+        now = self.engine.now
+        interval_sec = FEEDBACK_PERIOD_USEC / units.USEC_PER_SEC
+        received_rate = self._fb_bytes_received * 8 / interval_sec
+        mean_delay = (
+            self._fb_delay_sum / self._fb_delay_samples
+            if self._fb_delay_samples
+            else 0.0
+        )
+        loss_fraction = (
+            self._fb_packets_lost / self._fb_packets_sent
+            if self._fb_packets_sent
+            else 0.0
+        )
+        self.controller.on_feedback(now, received_rate, mean_delay, loss_fraction)
+        self._fb_bytes_received = 0
+        self._fb_packets_sent = 0
+        self._fb_packets_lost = 0
+        self._fb_delay_sum = 0.0
+        self._fb_delay_samples = 0
+        self.schedule(FEEDBACK_PERIOD_USEC, self._feedback_tick)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def on_measure_start(self) -> None:
+        now = self.engine.now
+        self.qoe.reset(now)
+        self._last_resolution_update = now
+        self._media_bytes_received = 0
+
+    def metrics(self) -> Dict[str, float]:
+        now = self.engine.now
+        self.qoe.add_resolution_time(
+            self._current_height, now - self._last_resolution_update
+        )
+        self._last_resolution_update = now
+        summary = self.qoe.summary(now)
+        summary["target_rate_bps"] = self.controller.target_rate_bps
+        return summary

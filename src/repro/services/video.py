@@ -1,0 +1,224 @@
+"""On-demand video service: chunked ABR streaming over N flows.
+
+The player fetches fixed-duration chunks at the ladder rung its ABR picks,
+striped across the service's flows (Netflix uses 4 connections, Vimeo 2,
+YouTube 1 - Table 1).  Once the playback buffer is full the player idles -
+the application-limited behaviour that caps these services' throughput in
+the moderately-constrained setting.
+
+Rendering-capacity fidelity (Section 3.3): the chosen rung is additionally
+capped by the client environment's decode capability, reproducing the
+paper's warning that headless/GPU-less clients silently lower the bitrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .. import units
+from ..cca.base import CongestionControl
+from .abr import AbrAlgorithm, BitrateLadder, ThroughputEstimator
+from .base import Service
+
+
+class VideoOnDemandService(Service):
+    """A Table-1 style VoD service (YouTube / Netflix / Vimeo)."""
+
+    category = "video"
+
+    def __init__(
+        self,
+        service_id: str,
+        cca_factory: Callable[[int], CongestionControl],
+        ladder: BitrateLadder,
+        abr: AbrAlgorithm,
+        num_flows: int = 1,
+        chunk_duration_sec: float = 4.0,
+        max_buffer_sec: float = 30.0,
+        startup_buffer_sec: float = 4.0,
+        resume_buffer_sec: float = 8.0,
+        display_name: Optional[str] = None,
+        render_cap_bps: Optional[float] = None,
+    ) -> None:
+        super().__init__(service_id, display_name)
+        self.cca_factory = cca_factory
+        self.ladder = ladder
+        self.abr = abr
+        self.num_flows = num_flows
+        self.chunk_duration_usec = units.seconds(chunk_duration_sec)
+        self.max_buffer_usec = units.seconds(max_buffer_sec)
+        self.startup_buffer_usec = units.seconds(startup_buffer_sec)
+        self.resume_buffer_usec = units.seconds(resume_buffer_sec)
+        self.render_cap_bps = render_cap_bps
+        self.estimator = ThroughputEstimator()
+
+        # Playback state (content time, usec).
+        self._buffered_usec = 0
+        self._played_usec = 0
+        self._playing = False
+        self._last_play_update = 0
+
+        # Fetch state.
+        self.current_index = 0
+        self._chunk_start_usec = 0
+        self._stripes_outstanding = 0
+        self._fetching = False
+
+        # QoE counters (windowed via on_measure_start).
+        self.rebuffer_events = 0
+        self.bitrate_switches = 0
+        self._bitrate_time_sum = 0.0
+        self._bitrate_time_usec = 0
+        self._last_metric_update = 0
+        self.chunks_fetched = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        for index in range(self.num_flows):
+            self.make_connection(self.cca_factory(index), index)
+
+    def _run(self) -> None:
+        self._last_play_update = self.engine.now
+        self._last_metric_update = self.engine.now
+        self._fetch_next_chunk()
+
+    def solo_rate_cap_bps(self) -> Optional[float]:
+        return self.ladder.top_bps
+
+    # ------------------------------------------------------------------
+    # Rendering cap (Section 3.3 fidelity)
+    # ------------------------------------------------------------------
+
+    def _max_render_index(self) -> Optional[int]:
+        if self.render_cap_bps is None:
+            return None
+        return self.ladder.best_below(self.render_cap_bps)
+
+    # ------------------------------------------------------------------
+    # Playback clock
+    # ------------------------------------------------------------------
+
+    def _advance_playback(self, now: int) -> None:
+        self._accumulate_bitrate_time(now)
+        if self._playing:
+            elapsed = now - self._last_play_update
+            self._played_usec = min(
+                self._played_usec + elapsed, self._buffered_usec
+            )
+            if self._played_usec >= self._buffered_usec:
+                # Buffer ran dry: a rebuffer event.
+                self._playing = False
+                self.rebuffer_events += 1
+        self._last_play_update = now
+
+    def _maybe_start_playback(self) -> None:
+        if self._playing:
+            return
+        buffered_ahead = self._buffered_usec - self._played_usec
+        threshold = (
+            self.startup_buffer_usec
+            if self._played_usec == 0
+            else self.resume_buffer_usec
+        )
+        if buffered_ahead >= threshold:
+            self._playing = True
+
+    @property
+    def buffer_sec(self) -> float:
+        """Seconds of content buffered ahead of the playhead."""
+        return (self._buffered_usec - self._played_usec) / units.USEC_PER_SEC
+
+    # ------------------------------------------------------------------
+    # Chunk fetch loop
+    # ------------------------------------------------------------------
+
+    def _fetch_next_chunk(self) -> None:
+        now = self.engine.now
+        self._advance_playback(now)
+        if self._buffered_usec - self._played_usec + self.chunk_duration_usec > (
+            self.max_buffer_usec
+        ):
+            # Buffer full: application-limited OFF period; poll again when
+            # roughly one chunk's worth of content has played out.
+            self._fetching = False
+            self.schedule(self.chunk_duration_usec // 2, self._fetch_next_chunk)
+            return
+        if self._fetching:
+            return
+        self._fetching = True
+        estimate = self.estimator.estimate_bps
+        new_index = self.abr.choose(
+            self.ladder,
+            estimate,
+            self.buffer_sec,
+            self.current_index,
+            max_index=self._max_render_index(),
+        )
+        if new_index != self.current_index:
+            self.bitrate_switches += 1
+            self.current_index = new_index
+        bitrate = self.ladder[self.current_index]
+        chunk_bytes = int(
+            bitrate * self.chunk_duration_usec / units.USEC_PER_SEC / 8
+        )
+        chunk_bytes = max(chunk_bytes, self.bell.network.mss_bytes)
+        self._chunk_start_usec = now
+        self._chunk_bytes = chunk_bytes
+        stripe = max(1, chunk_bytes // self.num_flows)
+        self._stripes_outstanding = self.num_flows
+        for conn in self.connections:
+            conn.request(stripe, on_complete=self._stripe_done)
+        self.chunks_fetched += 1
+
+    def _stripe_done(self) -> None:
+        self._stripes_outstanding -= 1
+        if self._stripes_outstanding:
+            return
+        now = self.engine.now
+        elapsed = max(1, now - self._chunk_start_usec)
+        rate = self._chunk_bytes * 8 * units.USEC_PER_SEC / elapsed
+        self.estimator.add(rate)
+        self._advance_playback(now)
+        self._buffered_usec += self.chunk_duration_usec
+        self._maybe_start_playback()
+        self._fetching = False
+        self._fetch_next_chunk()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _accumulate_bitrate_time(self, now: int) -> None:
+        span = now - self._last_metric_update
+        if span > 0:
+            self._bitrate_time_sum += self.ladder[self.current_index] * span
+            self._bitrate_time_usec += span
+        self._last_metric_update = now
+
+    def on_measure_start(self) -> None:
+        now = self.engine.now
+        self._advance_playback(now)
+        self.rebuffer_events = 0
+        self.bitrate_switches = 0
+        self._bitrate_time_sum = 0.0
+        self._bitrate_time_usec = 0
+        self._last_metric_update = now
+
+    def metrics(self) -> Dict[str, float]:
+        self._advance_playback(self.engine.now)
+        mean_bitrate = (
+            self._bitrate_time_sum / self._bitrate_time_usec
+            if self._bitrate_time_usec
+            else 0.0
+        )
+        return {
+            "mean_selected_bitrate_bps": mean_bitrate,
+            "current_bitrate_bps": self.ladder[self.current_index],
+            "rebuffer_events": float(self.rebuffer_events),
+            "bitrate_switches": float(self.bitrate_switches),
+            "buffer_sec": self.buffer_sec,
+            "chunks_fetched": float(self.chunks_fetched),
+        }

@@ -1,0 +1,232 @@
+"""Web page loads: parallel fetches plus SpeedIndex-style load timing.
+
+Section 5.2 protocol: the contender starts first; after a head start the
+page is loaded in a fresh browser instance (cache and cookies wiped, so
+every byte crosses the network), repeatedly, with a gap between loads.
+Page load time (PLT) is the time for 95% of the above-the-fold bytes to
+arrive, following Google's SpeedIndex idea; we also compute the SpeedIndex
+integral itself.
+
+A page is a set of resources spread over domains; the browser fetches the
+HTML first, then fans out over up to six connections per domain - which is
+how web services end up using >5 to >20 flows (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .. import units
+from ..cca.base import CongestionControl
+from ..transport.connection import Connection
+from .base import Service
+
+#: Chrome's per-domain connection limit.
+MAX_CONNECTIONS_PER_DOMAIN = 6
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """One fetchable page resource."""
+
+    name: str
+    size_bytes: int
+    domain: str
+    above_fold: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("resource size must be positive")
+
+
+@dataclass(frozen=True)
+class PageSpec:
+    """A web page: an HTML root plus subresources."""
+
+    name: str
+    html: ResourceSpec
+    subresources: List[ResourceSpec] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.html.size_bytes + sum(r.size_bytes for r in self.subresources)
+
+    @property
+    def above_fold_bytes(self) -> int:
+        total = self.html.size_bytes if self.html.above_fold else 0
+        return total + sum(
+            r.size_bytes for r in self.subresources if r.above_fold
+        )
+
+    @property
+    def domains(self) -> List[str]:
+        seen = {self.html.domain: None}
+        for resource in self.subresources:
+            seen.setdefault(resource.domain, None)
+        return list(seen)
+
+
+class PageLoadResult:
+    """Timing record of one page load."""
+
+    def __init__(self, start_usec: int) -> None:
+        self.start_usec = start_usec
+        self.plt95_usec: Optional[int] = None
+        self.complete_usec: Optional[int] = None
+        self.speed_index_usec: Optional[float] = None
+
+    @property
+    def plt95_sec(self) -> Optional[float]:
+        if self.plt95_usec is None:
+            return None
+        return self.plt95_usec / units.USEC_PER_SEC
+
+
+class _PageLoad:
+    """State machine for one browser page load (one fresh Chrome)."""
+
+    def __init__(
+        self,
+        service: "WebPageService",
+        spec: PageSpec,
+        on_done: Callable[[PageLoadResult], None],
+    ) -> None:
+        self.service = service
+        self.spec = spec
+        self.on_done = on_done
+        self.result = PageLoadResult(service.engine.now)
+        self._above_fold_total = max(1, spec.above_fold_bytes)
+        self._above_fold_received = 0
+        self._outstanding = 1 + len(spec.subresources)
+        self._pools: Dict[str, List[Connection]] = {}
+        self._busy: Dict[str, int] = {}
+        self._queues: Dict[str, List[ResourceSpec]] = {}
+        self._last_completeness_change = service.engine.now
+        self._speed_index_acc = 0.0
+        # Fetch the HTML first; subresources fan out on completion.
+        self._fetch(spec.html)
+
+    # -- connection pooling -------------------------------------------
+
+    def _connection_for(self, domain: str) -> Optional[Connection]:
+        pool = self._pools.setdefault(domain, [])
+        busy = self._busy.get(domain, 0)
+        if busy < len(pool):
+            return pool[busy]
+        if len(pool) < MAX_CONNECTIONS_PER_DOMAIN:
+            conn = self.service.new_browser_connection()
+            pool.append(conn)
+            return conn
+        return None
+
+    def _fetch(self, resource: ResourceSpec) -> None:
+        conn = self._connection_for(resource.domain)
+        if conn is None:
+            self._queues.setdefault(resource.domain, []).append(resource)
+            return
+        self._busy[resource.domain] = self._busy.get(resource.domain, 0) + 1
+        conn.request(
+            resource.size_bytes,
+            on_complete=lambda r=resource: self._resource_done(r),
+        )
+
+    def _resource_done(self, resource: ResourceSpec) -> None:
+        now = self.service.engine.now
+        self._busy[resource.domain] -= 1
+        self._outstanding -= 1
+        if resource.above_fold:
+            before = self._above_fold_received / self._above_fold_total
+            self._above_fold_received += resource.size_bytes
+            after = self._above_fold_received / self._above_fold_total
+            # SpeedIndex integral: area above the completeness curve.
+            self._speed_index_acc += (1.0 - before) * (
+                now - self._last_completeness_change
+            )
+            self._last_completeness_change = now
+            if self.result.plt95_usec is None and after >= 0.95:
+                self.result.plt95_usec = now - self.result.start_usec
+        if resource is self.spec.html:
+            for sub in self.spec.subresources:
+                self._fetch(sub)
+        else:
+            queue = self._queues.get(resource.domain)
+            if queue:
+                self._fetch(queue.pop(0))
+        if self._outstanding == 0:
+            self.result.complete_usec = now - self.result.start_usec
+            self.result.speed_index_usec = self._speed_index_acc
+            if self.result.plt95_usec is None:
+                self.result.plt95_usec = self.result.complete_usec
+            self.on_done(self.result)
+
+
+class WebPageService(Service):
+    """Repeated page loads of one page spec, fresh browser each time."""
+
+    category = "web"
+
+    def __init__(
+        self,
+        service_id: str,
+        page: PageSpec,
+        cca_factory: Callable[[int], CongestionControl],
+        load_gap_usec: int = units.seconds(45),
+        initial_delay_usec: int = units.seconds(30),
+        display_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(service_id, display_name)
+        self.page = page
+        self.cca_factory = cca_factory
+        self.load_gap_usec = load_gap_usec
+        self.initial_delay_usec = initial_delay_usec
+        self.results: List[PageLoadResult] = []
+        self._flow_counter = 0
+        self._active_load: Optional[_PageLoad] = None
+
+    def new_browser_connection(self) -> Connection:
+        """A fresh connection (fresh Chrome => no connection reuse)."""
+        conn = self.make_connection(
+            self.cca_factory(self._flow_counter), self._flow_counter
+        )
+        self._flow_counter += 1
+        return conn
+
+    def _build(self) -> None:
+        pass  # connections are created per page load
+
+    def _run(self) -> None:
+        self.schedule(self.initial_delay_usec, self._start_load)
+
+    def _start_load(self) -> None:
+        self._active_load = _PageLoad(self, self.page, self._load_done)
+
+    def _load_done(self, result: PageLoadResult) -> None:
+        self.results.append(result)
+        self._active_load = None
+        self.schedule(self.load_gap_usec, self._start_load)
+
+    def on_measure_start(self) -> None:
+        self.results = []
+
+    def plt_samples_sec(self) -> List[float]:
+        """Per-load PLT-95 samples from the current window, in seconds."""
+        return [
+            r.plt95_sec for r in self.results if r.plt95_sec is not None
+        ]
+
+    def metrics(self) -> Dict[str, float]:
+        samples = sorted(self.plt_samples_sec())
+        if not samples:
+            return {"page_loads": 0.0}
+        mid = len(samples) // 2
+        if len(samples) % 2:
+            median = samples[mid]
+        else:
+            median = (samples[mid - 1] + samples[mid]) / 2
+        return {
+            "page_loads": float(len(samples)),
+            "median_plt_sec": median,
+            "max_plt_sec": samples[-1],
+            "min_plt_sec": samples[0],
+        }

@@ -1,0 +1,361 @@
+"""A reliable, congestion-controlled connection (the TCP/QUIC stand-in).
+
+One ``Connection`` is one flow in the Table-1 sense: an ACK-clocked,
+optionally paced byte stream with SACK-style loss detection, fast
+retransmit, RTO with backoff, and a pluggable congestion controller.
+
+Data flows server -> client through the shared bottleneck; ACKs and
+requests ride the uncongested reverse path.  The application interface is
+request-oriented (``request(nbytes, on_complete)``) because every service
+in the paper is a download workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Set, Tuple
+
+from .. import units
+from ..netsim.engine import Engine
+from ..netsim.packet import Packet
+from ..netsim.topology import Path
+from .rate_sampler import RateSampler
+from .rtt import RttEstimator
+
+#: Packet-reordering threshold for fast retransmit (RFC 5681's 3 dupacks).
+DUPTHRESH = 3
+
+#: Initial congestion window in packets (Linux default since 2.6.39).
+INITIAL_WINDOW = 10
+
+
+class Connection:
+    """A single reliable flow between a service's server and the client.
+
+    Attributes:
+        service_id: owning service's identifier (used for per-service
+            accounting at the bottleneck).
+        flow_id: unique id of this flow within the experiment.
+        cca: the congestion-control instance steering this flow.
+        server_rate_cap_bps: optional server-side pacing cap, modelling
+            upstream throttles such as OneDrive's 45 Mbps ceiling.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        path: Path,
+        cca: "CongestionControl",
+        service_id: str,
+        flow_id: str,
+        mss_bytes: int = units.MSS_BYTES,
+        server_rate_cap_bps: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.path = path
+        self.cca = cca
+        self.service_id = service_id
+        self.flow_id = flow_id
+        self.mss_bytes = mss_bytes
+        self.server_rate_cap_bps = server_rate_cap_bps
+
+        # --- sender state ---
+        self._next_seq = 0
+        self._pending_packets = 0
+        self._committed_packets = 0
+        self._inflight: Dict[int, Packet] = {}
+        self._order: Deque[Packet] = deque()
+        self._rtx_queue: Deque[int] = deque()
+        self._tx_counter = 0
+        self._highest_acked_tx = -1
+        self.highest_acked = -1
+        self._recovery_until_tx = -1
+        self.rtt = RttEstimator()
+        self.sampler = RateSampler()
+
+        # --- receiver state ---
+        self._rcv_cum = -1
+        self._ooo: Set[int] = set()
+        self._requests: Deque[Tuple[int, Optional[Callable[[], None]]]] = deque()
+
+        # --- counters ---
+        self.packets_sent = 0
+        self.packets_acked = 0
+        self.packets_marked_lost = 0
+        self.packets_received_unique = 0
+        self.rto_count = 0
+        self.bytes_acked = 0
+
+        # --- timers & pacing ---
+        self._next_request_arrival = 0
+        self._rto_deadline: Optional[int] = None
+        self._rto_event_pending = False
+        self._next_send_time = 0
+        self._send_event_pending = False
+        self._last_activity = 0
+
+        cca.on_connection_init(self)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+
+    def request(
+        self, nbytes: int, on_complete: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Client asks the server for ``nbytes``; completes at the client.
+
+        The request crosses the reverse path first (one-way request
+        latency), then the server starts sending.  ``on_complete`` fires
+        when the final byte has been received *in order* at the client.
+        """
+        if nbytes <= 0:
+            raise ValueError("request size must be positive")
+        self._next_request_arrival = self.path.send_reverse_ordered(
+            lambda: self._server_write(nbytes, on_complete),
+            not_before_usec=self._next_request_arrival,
+        )
+
+    def _server_write(
+        self, nbytes: int, on_complete: Optional[Callable[[], None]]
+    ) -> None:
+        npackets = max(1, -(-nbytes // self.mss_bytes))
+        end_seq = self._committed_packets + npackets - 1
+        self._committed_packets += npackets
+        self._pending_packets += npackets
+        self._requests.append((end_seq, on_complete))
+        now = self.engine.now
+        if not self._inflight and self._last_activity:
+            idle = now - self._last_activity
+            if idle > max(self.rtt.rto_usec, units.msec(200)):
+                self.cca.on_idle_restart(self, idle)
+        self._try_send()
+
+    @property
+    def bytes_received(self) -> int:
+        """Unique application bytes delivered to the client."""
+        return self.packets_received_unique * self.mss_bytes
+
+    @property
+    def inflight_packets(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def inflight_bytes(self) -> int:
+        return len(self._inflight) * self.mss_bytes
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._highest_acked_tx < self._recovery_until_tx
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self._pending_packets or self._rtx_queue)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def _effective_pacing_rate(self) -> Optional[float]:
+        rate = self.cca.pacing_rate_bps
+        cap = self.server_rate_cap_bps
+        if rate is None:
+            return cap
+        if cap is None:
+            return rate
+        return min(rate, cap)
+
+    def _window_open(self) -> bool:
+        return len(self._inflight) < self.cca.cwnd_packets
+
+    def _try_send(self) -> None:
+        if self._send_event_pending:
+            return
+        self._send_loop()
+
+    def _send_loop(self) -> None:
+        self._send_event_pending = False
+        while self.has_data and self._window_open():
+            pacing = self._effective_pacing_rate()
+            if pacing is not None and pacing > 0:
+                now = self.engine.now
+                if now < self._next_send_time:
+                    self._send_event_pending = True
+                    self.engine.schedule_at(self._next_send_time, self._send_loop)
+                    return
+                self._transmit_one()
+                gap = units.serialization_time_usec(self.mss_bytes, pacing)
+                base = max(self._next_send_time, now)
+                self._next_send_time = base + gap
+            else:
+                self._transmit_one()
+        if not self.has_data and self._window_open():
+            # The sender ran out of data with the window open: mark the
+            # sampler app-limited so BBR ignores the lull.
+            self.sampler.mark_app_limited(self.inflight_bytes)
+
+    def _transmit_one(self) -> None:
+        now = self.engine.now
+        if self._rtx_queue:
+            seq = self._rtx_queue.popleft()
+            is_rtx = True
+        else:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._pending_packets -= 1
+            is_rtx = False
+        packet = Packet(self, seq, self.mss_bytes, now, is_retransmit=is_rtx)
+        packet.tx_index = self._tx_counter
+        self._tx_counter += 1
+        self.sampler.on_sent(packet, now, self.inflight_bytes)
+        self._inflight[seq] = packet
+        self._order.append(packet)
+        self.packets_sent += 1
+        self._last_activity = now
+        self.cca.on_sent(self, packet)
+        self.path.transmit(packet)
+        if self._rto_deadline is None:
+            self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # Receiver side (client)
+    # ------------------------------------------------------------------
+
+    def on_packet_arrived(self, packet: Packet) -> None:
+        """Called by the bottleneck link when a data packet reaches the client."""
+        seq = packet.seq
+        if seq == self._rcv_cum + 1:
+            self._rcv_cum += 1
+            self.packets_received_unique += 1
+            ooo = self._ooo
+            while (self._rcv_cum + 1) in ooo:
+                ooo.remove(self._rcv_cum + 1)
+                self._rcv_cum += 1
+            self._fire_completions()
+        elif seq > self._rcv_cum and seq not in self._ooo:
+            self._ooo.add(seq)
+            self.packets_received_unique += 1
+        else:
+            # Duplicate delivery (a retransmission raced the original);
+            # nothing new for the application.
+            pass
+        # ACK every packet (no delayed ACKs: BBR's rate samples want the
+        # per-packet signal, and ACKs are free on the reverse path).
+        self.path.send_reverse(lambda p=packet: self._handle_ack(p))
+
+    def on_packet_dropped(self, packet: Packet) -> None:
+        """Tail drop at the bottleneck; TCP learns about it via dupacks."""
+
+    def _fire_completions(self) -> None:
+        while self._requests and self._rcv_cum >= self._requests[0][0]:
+            _end, callback = self._requests.popleft()
+            if callback is not None:
+                callback()
+
+    # ------------------------------------------------------------------
+    # ACK processing & loss detection (sender)
+    # ------------------------------------------------------------------
+
+    def _handle_ack(self, packet: Packet) -> None:
+        now = self.engine.now
+        self._last_activity = now
+        seq = packet.seq
+        current = self._inflight.get(seq)
+        if current is packet:
+            del self._inflight[seq]
+            self.packets_acked += 1
+            self.bytes_acked += packet.size_bytes
+            rtt_sample = now - packet.sent_time
+            if not packet.is_retransmit:
+                self.rtt.on_rtt_sample(rtt_sample)
+            rate_sample = self.sampler.on_ack(packet, now, rtt_sample)
+            self.cca.on_ack(self, packet, rtt_sample, rate_sample)
+        if seq > self.highest_acked:
+            self.highest_acked = seq
+        if packet.tx_index > self._highest_acked_tx:
+            self._highest_acked_tx = packet.tx_index
+        self._detect_losses()
+        self._rearm_rto()
+        self._try_send()
+
+    def _detect_losses(self) -> None:
+        """SACK-style loss marking in *transmission* order.
+
+        The path is FIFO, so once a transmission is acknowledged every
+        earlier transmission must have either arrived or been dropped.  We
+        keep the classic 3-packet reordering tolerance (dupthresh) before
+        declaring a hole lost, matching fast-retransmit timing.
+        """
+        threshold = self._highest_acked_tx - DUPTHRESH
+        order = self._order
+        inflight = self._inflight
+        while order:
+            pkt = order[0]
+            live = inflight.get(pkt.seq)
+            if live is not pkt:
+                # Already acknowledged (or superseded by a retransmission).
+                order.popleft()
+                continue
+            if pkt.tx_index <= threshold:
+                order.popleft()
+                del inflight[pkt.seq]
+                self._rtx_queue.append(pkt.seq)
+                self.packets_marked_lost += 1
+                self._on_loss(pkt.seq)
+            else:
+                break
+
+    def _on_loss(self, seq: int) -> None:
+        if not self.in_recovery:
+            # Recovery lasts until a transmission issued after this point
+            # is acknowledged (one loss event per window of data).
+            self._recovery_until_tx = self._tx_counter - 1
+            self.cca.on_loss_event(self, self.engine.now)
+
+    # ------------------------------------------------------------------
+    # RTO
+    # ------------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        self._rto_deadline = self.engine.now + self.rtt.rto_usec
+        if not self._rto_event_pending:
+            self._rto_event_pending = True
+            self.engine.schedule_at(self._rto_deadline, self._rto_fired)
+
+    def _rearm_rto(self) -> None:
+        if not self._inflight and not self._rtx_queue:
+            self._rto_deadline = None
+            return
+        self._rto_deadline = self.engine.now + self.rtt.rto_usec
+        if not self._rto_event_pending:
+            self._rto_event_pending = True
+            self.engine.schedule_at(self._rto_deadline, self._rto_fired)
+
+    def _rto_fired(self) -> None:
+        self._rto_event_pending = False
+        if self._rto_deadline is None:
+            return
+        now = self.engine.now
+        if now < self._rto_deadline:
+            self._rto_event_pending = True
+            self.engine.schedule_at(self._rto_deadline, self._rto_fired)
+            return
+        if not self._inflight:
+            self._rto_deadline = None
+            return
+        # Timeout: everything outstanding is presumed lost.
+        self.rto_count += 1
+        self.rtt.backoff()
+        lost = sorted(self._inflight)
+        self._inflight.clear()
+        self._order.clear()
+        existing = set(self._rtx_queue)
+        for seq in lost:
+            if seq not in existing:
+                self._rtx_queue.append(seq)
+        self.packets_marked_lost += len(lost)
+        self._recovery_until_tx = self._tx_counter - 1
+        self.cca.on_rto(self, now)
+        self._rto_deadline = None
+        self._next_send_time = now
+        self._try_send()

@@ -1,0 +1,53 @@
+"""Round-trip-time estimation and retransmission timeout (RFC 6298)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import units
+
+
+class RttEstimator:
+    """SRTT / RTTVAR smoothing plus RTO with exponential backoff."""
+
+    MIN_RTO_USEC = units.msec(200)
+    MAX_RTO_USEC = units.seconds(60)
+    ALPHA = 1 / 8
+    BETA = 1 / 4
+
+    def __init__(self) -> None:
+        self.srtt_usec: Optional[float] = None
+        self.rttvar_usec: float = 0.0
+        self.latest_rtt_usec: Optional[int] = None
+        self.min_rtt_usec: Optional[int] = None
+        self._backoff = 1
+
+    def on_rtt_sample(self, rtt_usec: int) -> None:
+        """Feed one RTT measurement (never from retransmitted packets)."""
+        if rtt_usec <= 0:
+            raise ValueError("RTT samples must be positive")
+        self.latest_rtt_usec = rtt_usec
+        if self.min_rtt_usec is None or rtt_usec < self.min_rtt_usec:
+            self.min_rtt_usec = rtt_usec
+        if self.srtt_usec is None:
+            self.srtt_usec = float(rtt_usec)
+            self.rttvar_usec = rtt_usec / 2.0
+        else:
+            delta = abs(self.srtt_usec - rtt_usec)
+            self.rttvar_usec = (1 - self.BETA) * self.rttvar_usec + self.BETA * delta
+            self.srtt_usec = (1 - self.ALPHA) * self.srtt_usec + self.ALPHA * rtt_usec
+        self._backoff = 1
+
+    @property
+    def rto_usec(self) -> int:
+        """Current retransmission timeout, including backoff."""
+        if self.srtt_usec is None:
+            base = units.seconds(1)
+        else:
+            base = int(self.srtt_usec + max(4 * self.rttvar_usec, 1000))
+        rto = max(self.MIN_RTO_USEC, base) * self._backoff
+        return min(rto, self.MAX_RTO_USEC)
+
+    def backoff(self) -> None:
+        """Double the RTO after a timeout fires."""
+        self._backoff = min(self._backoff * 2, 64)

@@ -1,0 +1,80 @@
+"""Time-windowed min/max filters (the Linux ``win_minmax`` structure).
+
+BBR tracks its bandwidth estimate as a windowed maximum over ~10 round
+trips and its min-RTT as a windowed minimum over 10 seconds.  This is the
+standard three-estimate implementation: the best value plus two runners-up
+that take over as the best value ages out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class _WindowedFilter:
+    """Shared machinery; ``_better`` orders candidate samples."""
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        # (value, time) estimates, best first.
+        self._estimates: List[Tuple[float, int]] = []
+
+    def _better(self, a: float, b: float) -> bool:
+        raise NotImplementedError
+
+    def update(self, value: float, now: int) -> float:
+        """Insert a sample and return the current windowed best.
+
+        Mirrors Linux ``minmax_running_max``/``minmax_subwin_update``: a
+        full reset when the new sample beats the best or the *oldest*
+        runner-up has aged out, otherwise runner-up maintenance plus
+        quarter/half-window promotion.
+        """
+        est = self._estimates
+        if (
+            not est
+            or self._better(value, est[0][0])
+            or now - est[2][1] > self.window
+        ):
+            self._estimates = [(value, now), (value, now), (value, now)]
+            return value
+        if self._better(value, est[1][0]):
+            est[1] = (value, now)
+            est[2] = (value, now)
+        elif self._better(value, est[2][0]):
+            est[2] = (value, now)
+        dt = now - est[0][1]
+        if dt > self.window:
+            # Best entry aged out: promote the runners-up.
+            est[0], est[1], est[2] = est[1], est[2], (value, now)
+            if now - est[0][1] > self.window:
+                est[0], est[1], est[2] = est[1], est[2], (value, now)
+        elif est[1][1] == est[0][1] and dt > self.window // 4:
+            est[1] = (value, now)
+            est[2] = (value, now)
+        elif est[2][1] == est[1][1] and dt > self.window // 2:
+            est[2] = (value, now)
+        return self._estimates[0][0]
+
+    def get(self) -> float:
+        """Current best value (0.0 when empty)."""
+        return self._estimates[0][0] if self._estimates else 0.0
+
+    def reset(self, value: float, now: int) -> None:
+        self._estimates = [(value, now), (value, now), (value, now)]
+
+
+class WindowedMaxFilter(_WindowedFilter):
+    """Windowed maximum (BBR bottleneck-bandwidth filter)."""
+
+    def _better(self, a: float, b: float) -> bool:
+        return a >= b
+
+
+class WindowedMinFilter(_WindowedFilter):
+    """Windowed minimum (BBR min-RTT filter)."""
+
+    def _better(self, a: float, b: float) -> bool:
+        return a <= b

@@ -1,0 +1,91 @@
+"""Units and constants shared across the simulator.
+
+The simulator keeps time as integer microseconds (``int``) so that event
+ordering is exact and reproducible across platforms; rates are kept in bits
+per second.  All helpers in this module convert between human-friendly units
+(milliseconds, Mbps) and the internal representation.
+"""
+
+from __future__ import annotations
+
+#: Wire size of a full-sized packet, in bytes.  The paper's queue sizes
+#: (128 packets at 8 Mbps and 1024 packets at 50 Mbps for a 4xBDP buffer)
+#: are consistent with 1500-byte MTU packets, so we use that everywhere.
+MSS_BYTES = 1500
+
+#: Bits in a full-sized packet.
+MSS_BITS = MSS_BYTES * 8
+
+#: Microseconds per second; the engine's clock resolution.
+USEC_PER_SEC = 1_000_000
+
+#: Microseconds per millisecond.
+USEC_PER_MSEC = 1_000
+
+
+def mbps(value: float) -> float:
+    """Convert megabits-per-second to bits-per-second."""
+    return value * 1_000_000.0
+
+
+def to_mbps(bits_per_sec: float) -> float:
+    """Convert bits-per-second to megabits-per-second."""
+    return bits_per_sec / 1_000_000.0
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer microseconds."""
+    return int(round(value * USEC_PER_SEC))
+
+
+def msec(value: float) -> int:
+    """Convert milliseconds to integer microseconds."""
+    return int(round(value * USEC_PER_MSEC))
+
+
+def to_seconds(usec: int) -> float:
+    """Convert integer microseconds to float seconds."""
+    return usec / USEC_PER_SEC
+
+
+def to_msec(usec: int) -> float:
+    """Convert integer microseconds to float milliseconds."""
+    return usec / USEC_PER_MSEC
+
+
+def serialization_time_usec(nbytes: int, rate_bps: float) -> int:
+    """Time to serialise ``nbytes`` onto a link of ``rate_bps``, in usec.
+
+    Always at least 1 usec so that back-to-back packets on a link keep a
+    strict ordering in the integer-time event queue.
+    """
+    if rate_bps <= 0:
+        raise ValueError("link rate must be positive")
+    return max(1, int(round(nbytes * 8 * USEC_PER_SEC / rate_bps)))
+
+
+def bdp_bytes(rate_bps: float, rtt_usec: int) -> float:
+    """Bandwidth-delay product in bytes."""
+    return rate_bps * rtt_usec / USEC_PER_SEC / 8.0
+
+
+def bdp_packets(rate_bps: float, rtt_usec: int, mss: int = MSS_BYTES) -> float:
+    """Bandwidth-delay product in ``mss``-byte packets."""
+    return bdp_bytes(rate_bps, rtt_usec) / mss
+
+
+def nearest_power_of_two(value: float) -> int:
+    """Round ``value`` to the nearest power of two (BESS queue-size quirk).
+
+    The paper notes that BESS only supports power-of-two queue sizes, so a
+    4xBDP buffer of 833 packets becomes 1024 in practice.  Ties round up.
+    """
+    if value <= 1:
+        return 1
+    lower = 1 << (int(value).bit_length() - 1)
+    if lower > value:
+        lower >>= 1
+    upper = lower * 2
+    if (value - lower) < (upper - value):
+        return lower
+    return upper

@@ -1,0 +1,53 @@
+"""Shared fixtures: fast experiment scales and the service catalog.
+
+Integration tests run the same protocol as the paper but scaled down to
+seconds so the suite stays fast; unit tests exercise components directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.config import (
+    ExperimentConfig,
+    NetworkConfig,
+    highly_constrained,
+    moderately_constrained,
+)
+from repro.services.catalog import default_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return default_catalog()
+
+
+@pytest.fixture
+def fast_config():
+    """A 20-second experiment (4 s warmup/cooldown trims)."""
+    return ExperimentConfig().scaled(20)
+
+
+@pytest.fixture
+def medium_config():
+    """A 60-second experiment for behaviours that need convergence."""
+    return ExperimentConfig().scaled(60)
+
+
+@pytest.fixture
+def hc_network():
+    """The paper's 8 Mbps highly-constrained setting."""
+    return highly_constrained()
+
+
+@pytest.fixture
+def mc_network():
+    """The paper's 50 Mbps moderately-constrained setting."""
+    return moderately_constrained()
+
+
+@pytest.fixture
+def small_network():
+    """A 10 Mbps link for generic transport tests."""
+    return NetworkConfig(bandwidth_bps=units.mbps(10))

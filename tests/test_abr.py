@@ -1,0 +1,136 @@
+"""ABR ladders, throughput estimation, and rung-selection policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.services.abr import (
+    BitrateLadder,
+    BufferRateABR,
+    ConservativeABR,
+    ThroughputEstimator,
+)
+
+LADDER = BitrateLadder([units.mbps(m) for m in (0.5, 1, 2, 4, 8, 13)])
+
+
+class TestLadder:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([2, 1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BitrateLadder([0, 1])
+
+    def test_best_below(self):
+        assert LADDER.best_below(units.mbps(3)) == 2
+        assert LADDER.best_below(units.mbps(100)) == 5
+        assert LADDER.best_below(units.mbps(0.1)) == 0
+
+    def test_top(self):
+        assert LADDER.top_bps == units.mbps(13)
+
+    @given(st.floats(min_value=1, max_value=1e8))
+    def test_best_below_is_affordable_or_bottom(self, rate):
+        index = LADDER.best_below(rate)
+        if index > 0:
+            assert LADDER[index] <= rate
+
+
+class TestEstimator:
+    def test_empty_is_none(self):
+        assert ThroughputEstimator().estimate_bps is None
+
+    def test_harmonic_mean_weights_slow_chunks(self):
+        est = ThroughputEstimator(window=2)
+        est.add(1e6)
+        est.add(9e6)
+        # Harmonic mean 1.8 Mbps, far below the arithmetic 5 Mbps.
+        assert est.estimate_bps == pytest.approx(1.8e6)
+
+    def test_window_slides(self):
+        est = ThroughputEstimator(window=2)
+        for value in (1e6, 5e6, 5e6):
+            est.add(value)
+        assert est.estimate_bps == pytest.approx(5e6)
+
+    def test_ignores_nonpositive(self):
+        est = ThroughputEstimator()
+        est.add(0)
+        est.add(-5)
+        assert est.estimate_bps is None
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ThroughputEstimator(window=0)
+
+
+class TestConservativeABR:
+    def test_no_estimate_keeps_current(self):
+        abr = ConservativeABR()
+        assert abr.choose(LADDER, None, 20.0, 2) == 2
+
+    def test_safety_factor_applied(self):
+        abr = ConservativeABR(safety=0.75)
+        # 0.75 * 8 Mbps = 6 Mbps -> rung 4 Mbps (index 3) at most... but
+        # up-switching is one rung at a time from index 0.
+        assert abr.choose(LADDER, units.mbps(8), 20.0, 3) == 3
+
+    def test_upswitch_one_rung_with_hysteresis(self):
+        abr = ConservativeABR(safety=0.75, up_hysteresis=1.25)
+        # estimate 8: safe rung is 4 Mbps (idx 3); from idx 1 candidate is
+        # idx 2 (2 Mbps) and 8 >= 1.25*2 -> climb exactly one rung.
+        assert abr.choose(LADDER, units.mbps(8), 20.0, 1) == 2
+
+    def test_upswitch_blocked_by_hysteresis(self):
+        abr = ConservativeABR(safety=0.9, up_hysteresis=2.0)
+        # Safe rung is above current, but estimate < 2x next rung.
+        assert abr.choose(LADDER, units.mbps(5), 20.0, 2) == 2
+
+    def test_downswitch_immediate(self):
+        abr = ConservativeABR(safety=0.75)
+        assert abr.choose(LADDER, units.mbps(1.5), 20.0, 4) == 1
+
+    def test_panic_buffer_drops_low(self):
+        abr = ConservativeABR(panic_buffer_sec=5.0)
+        index = abr.choose(LADDER, units.mbps(4), 2.0, 4)
+        assert LADDER[index] <= 0.5 * units.mbps(4)
+
+    def test_render_cap_respected(self):
+        abr = ConservativeABR()
+        for est in (units.mbps(50), units.mbps(5)):
+            assert abr.choose(LADDER, est, 20.0, 5, max_index=1) <= 1
+
+    def test_rejects_bad_safety(self):
+        with pytest.raises(ValueError):
+            ConservativeABR(safety=0)
+
+
+class TestBufferRateABR:
+    def test_panic_forces_bottom(self):
+        abr = BufferRateABR()
+        assert abr.choose(LADDER, units.mbps(50), 1.0, 5) == 0
+
+    def test_deep_buffer_aggressive(self):
+        abr = BufferRateABR()
+        # 0.95 * 8.5 Mbps > 8 -> rung index 4 directly (multi-rung jump).
+        assert abr.choose(LADDER, units.mbps(8.5), 20.0, 0) == 4
+
+    def test_shallow_buffer_conservative(self):
+        abr = BufferRateABR()
+        deep = abr.choose(LADDER, units.mbps(8.5), 20.0, 0)
+        shallow = abr.choose(LADDER, units.mbps(8.5), 4.0, 0)
+        assert shallow <= deep
+
+    def test_no_estimate_keeps_current(self):
+        abr = BufferRateABR()
+        assert abr.choose(LADDER, None, 10.0, 3) == 3
+
+    def test_render_cap(self):
+        abr = BufferRateABR()
+        assert abr.choose(LADDER, units.mbps(50), 20.0, 0, max_index=2) == 2

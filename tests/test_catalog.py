@@ -1,0 +1,95 @@
+"""The Table-1 service catalog: completeness and buildability."""
+
+import pytest
+
+from repro import units
+from repro.browser.environment import ClientEnvironment
+from repro.config import highly_constrained
+from repro.core.testbed import Testbed
+from repro.services.catalog import ServiceCatalog, ServiceSpec, default_catalog
+from repro.services.base import Service
+
+#: The twelve Table-1 services plus the three iPerf baselines.
+TABLE1_IDS = {
+    "youtube", "netflix", "vimeo",
+    "dropbox", "gdrive", "onedrive", "mega",
+    "meet", "teams",
+    "wikipedia", "news_google", "youtube_web",
+    "iperf_bbr", "iperf_cubic", "iperf_reno",
+}
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+class TestCompleteness:
+    def test_all_table1_services_present(self, catalog):
+        assert TABLE1_IDS <= set(catalog.ids())
+
+    def test_figure_extras_present(self, catalog):
+        for extra in ("iperf_bbr_415", "iperf_bbr_x5", "gdrive_2022", "youtube_2022"):
+            assert extra in catalog
+
+    def test_heatmap_set_is_video_file_iperf(self, catalog):
+        ids = set(catalog.heatmap_ids())
+        assert ids == {
+            "youtube", "netflix", "vimeo",
+            "dropbox", "gdrive", "onedrive", "mega",
+            "iperf_bbr", "iperf_cubic", "iperf_reno",
+        }
+
+    def test_documented_flow_counts(self, catalog):
+        assert catalog.get("mega").num_flows == 5
+        assert catalog.get("netflix").num_flows == 4
+        assert catalog.get("vimeo").num_flows == 2
+        assert catalog.get("youtube").num_flows == 1
+
+    def test_documented_caps(self, catalog):
+        assert catalog.get("youtube").max_throughput_bps == units.mbps(13)
+        assert catalog.get("vimeo").max_throughput_bps == units.mbps(14)
+        assert catalog.get("netflix").max_throughput_bps == units.mbps(8)
+        assert catalog.get("meet").max_throughput_bps == units.mbps(1.5)
+        assert catalog.get("teams").max_throughput_bps == units.mbps(2.6)
+        assert catalog.get("onedrive").max_throughput_bps == units.mbps(45)
+        assert catalog.get("dropbox").max_throughput_bps is None
+
+    def test_categories(self, catalog):
+        assert len(catalog.by_category("video")) >= 3
+        assert len(catalog.by_category("file-transfer")) >= 4
+        assert len(catalog.by_category("rtc")) == 2
+        assert len(catalog.by_category("web")) == 3
+        assert len(catalog.by_category("baseline")) >= 3
+
+
+class TestFactories:
+    @pytest.mark.parametrize("service_id", sorted(TABLE1_IDS))
+    def test_every_service_builds_and_attaches(self, catalog, service_id):
+        service = catalog.create(service_id, seed=1)
+        assert isinstance(service, Service)
+        testbed = Testbed(highly_constrained(), seed=1)
+        testbed.add_service(service)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(2))  # no crashes, produces traffic
+
+    def test_unknown_service_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("nope")
+
+    def test_duplicate_registration_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.register(catalog.get("mega"))
+
+    def test_instances_are_independent(self, catalog):
+        a = catalog.create("dropbox", seed=1)
+        b = catalog.create("dropbox", seed=1)
+        assert a is not b
+
+    def test_render_environment_plumbed_to_video(self, catalog):
+        headless = catalog.create(
+            "youtube", seed=1, env=ClientEnvironment.headless_automation()
+        )
+        faithful = catalog.create("youtube", seed=1)
+        assert headless.render_cap_bps == units.mbps(1.2)
+        assert faithful.render_cap_bps is None

@@ -1,0 +1,137 @@
+"""GCC and the Teams-like controller: rate adaptation to delay and loss."""
+
+import pytest
+
+from repro import units
+from repro.cca.gcc import (
+    DelayGradientDetector,
+    GoogleCongestionControl,
+    NORMAL,
+    OVERUSE,
+    UNDERUSE,
+)
+from repro.cca.teams import TeamsRateController
+
+
+class TestDelayGradientDetector:
+    def test_flat_delay_is_normal(self):
+        det = DelayGradientDetector()
+        states = [
+            det.update(units.msec(100 * i), 50_000.0) for i in range(1, 10)
+        ]
+        assert all(s == NORMAL for s in states)
+
+    def test_rising_delay_triggers_overuse(self):
+        det = DelayGradientDetector()
+        state = NORMAL
+        delay = 50_000.0
+        for i in range(1, 20):
+            delay += 10_000  # +10 ms per 100 ms: strong queue growth
+            state = det.update(units.msec(100 * i), delay)
+            if state == OVERUSE:
+                break
+        assert state == OVERUSE
+
+    def test_falling_delay_is_underuse(self):
+        det = DelayGradientDetector()
+        delay = 300_000.0
+        state = NORMAL
+        for i in range(1, 20):
+            delay -= 10_000
+            state = det.update(units.msec(100 * i), delay)
+            if state == UNDERUSE:
+                break
+        assert state == UNDERUSE
+
+
+class TestGcc:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            GoogleCongestionControl(min_rate_bps=0)
+        with pytest.raises(ValueError):
+            GoogleCongestionControl(
+                min_rate_bps=units.mbps(1), max_rate_bps=units.mbps(0.5)
+            )
+
+    def test_ramps_to_max_without_congestion(self):
+        gcc = GoogleCongestionControl(max_rate_bps=units.mbps(1.5))
+        now = 0
+        for _ in range(600):  # 60 s of clean feedback
+            now += units.msec(100)
+            gcc.on_feedback(now, gcc.target_rate_bps, 25_000.0, 0.0)
+        assert gcc.target_rate_bps == pytest.approx(units.mbps(1.5))
+
+    def test_overuse_backs_off_to_received_rate(self):
+        gcc = GoogleCongestionControl(
+            max_rate_bps=units.mbps(1.5), start_rate_bps=units.mbps(1.0)
+        )
+        now = 0
+        delay = 50_000.0
+        for _ in range(30):
+            now += units.msec(100)
+            delay += 15_000
+            gcc.on_feedback(now, units.mbps(0.8), delay, 0.0)
+        assert gcc.target_rate_bps <= 0.85 * units.mbps(0.8) * 1.05
+
+    def test_heavy_loss_cuts_rate(self):
+        gcc = GoogleCongestionControl(start_rate_bps=units.mbps(1.0))
+        now = 0
+        before = gcc.target_rate_bps
+        for _ in range(10):
+            now += units.msec(100)
+            gcc.on_feedback(now, units.mbps(1.0), 50_000.0, 0.3)
+        assert gcc.target_rate_bps < before
+
+    def test_rate_never_leaves_bounds(self):
+        gcc = GoogleCongestionControl(
+            min_rate_bps=units.mbps(0.15), max_rate_bps=units.mbps(1.5)
+        )
+        now = 0
+        for i in range(200):
+            now += units.msec(100)
+            loss = 0.5 if i % 3 == 0 else 0.0
+            gcc.on_feedback(now, units.mbps(0.1), 50_000.0 + (i % 7) * 20_000, loss)
+            assert units.mbps(0.15) <= gcc.target_rate_bps <= units.mbps(1.5)
+
+
+class TestTeamsController:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            TeamsRateController(min_rate_bps=-1)
+
+    def test_ramps_slower_than_gcc(self):
+        gcc = GoogleCongestionControl(
+            max_rate_bps=units.mbps(5), start_rate_bps=units.mbps(0.5)
+        )
+        teams = TeamsRateController(
+            max_rate_bps=units.mbps(5), start_rate_bps=units.mbps(0.5)
+        )
+        now = 0
+        for _ in range(100):  # 10 s clean
+            now += units.msec(100)
+            gcc.on_feedback(now, gcc.target_rate_bps, 25_000.0, 0.0)
+            teams.on_feedback(now, teams.target_rate_bps, 25_000.0, 0.0)
+        assert teams.target_rate_bps < gcc.target_rate_bps
+
+    def test_tolerates_moderate_delay_growth(self):
+        """Teams is less delay-sensitive: gradients that trip GCC don't
+        immediately trip Teams (Observation 5's behavioural root)."""
+        gcc = GoogleCongestionControl(start_rate_bps=units.mbps(1.0))
+        teams = TeamsRateController(start_rate_bps=units.mbps(1.0))
+        now = 0
+        delay = 50_000.0
+        gcc_rate = teams_rate = None
+        for _ in range(20):
+            now += units.msec(100)
+            delay += 2_000  # gentle growth
+            gcc_rate = gcc.on_feedback(now, units.mbps(0.9), delay, 0.0)
+            teams_rate = teams.on_feedback(now, units.mbps(0.9), delay, 0.0)
+        assert teams_rate >= gcc_rate
+
+    def test_loss_forces_backoff(self):
+        teams = TeamsRateController(start_rate_bps=units.mbps(2.0))
+        now = 0
+        for _ in range(10):
+            now += units.msec(100)
+            teams.on_feedback(now, units.mbps(2.0), 50_000.0, 0.2)
+        assert teams.target_rate_bps < units.mbps(1.0)

@@ -1,0 +1,42 @@
+"""The CCA classifier must label our own implementations correctly -
+the reproduction of the paper's CCAnalyzer ground-truthing step for
+Vimeo and Mega."""
+
+import pytest
+
+from repro.cca.bbr import BBRv1, BBR_LINUX_4_15
+from repro.cca.classifier import CCAClassifier, classify_cca
+from repro.cca.cubic import Cubic
+from repro.cca.reno import NewReno
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return CCAClassifier(duration_sec=25.0, seed=11)
+
+
+class TestClassification:
+    def test_bbr_labelled_bbr_like(self, classifier):
+        report = classifier.run(lambda: BBRv1(BBR_LINUX_4_15, seed=5))
+        assert report.label == "bbr-like"
+        # Its distinguishing feature: a small standing queue.
+        assert report.mean_queue_fraction < 0.55
+
+    def test_reno_labelled_reno_like(self, classifier):
+        report = classifier.run(NewReno)
+        assert report.label == "reno-like"
+        assert report.ramp_linearity >= 0.92
+
+    def test_cubic_labelled_cubic_like(self, classifier):
+        report = classifier.run(Cubic)
+        assert report.label == "cubic-like"
+        assert report.ramp_linearity < 0.92
+
+    def test_convenience_wrapper(self):
+        assert classify_cca(NewReno, duration_sec=25.0) == "reno-like"
+
+    def test_loss_based_fill_queue(self, classifier):
+        for factory in (NewReno, Cubic):
+            report = classifier.run(factory)
+            assert report.mean_queue_fraction > 0.55
+            assert report.loss_rate > 0.0

@@ -1,0 +1,103 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestServices:
+    def test_lists_catalog(self, capsys):
+        assert main(["services"]) == 0
+        out = capsys.readouterr().out
+        assert "mega" in out
+        assert "youtube" in out
+
+    def test_json_output(self, capsys):
+        assert main(["services", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["id"] == "mega" for row in rows)
+
+
+class TestSolo:
+    def test_solo_run(self, capsys):
+        code = main(["solo", "iperf_bbr", "--duration", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mbps solo" in out
+
+    def test_solo_json(self, capsys):
+        code = main(["solo", "iperf_reno", "--duration", "20", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["throughput_bps"]["iperf_reno"] > 0
+
+
+class TestPair:
+    def test_pair_run(self, capsys):
+        code = main(
+            ["pair", "iperf_cubic", "iperf_reno", "--duration", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iperf_cubic" in out
+        assert "% of MmF share" in out
+
+    def test_pair_json_shares_sum(self, capsys):
+        code = main(
+            ["pair", "iperf_cubic", "iperf_reno", "--duration", "20", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["mmf_share"]) == {"iperf_cubic", "iperf_reno"}
+
+
+class TestClassify:
+    def test_classify_reno(self, capsys):
+        code = main(["classify", "reno", "--duration", "20"])
+        assert code == 0
+        assert "reno-like" in capsys.readouterr().out
+
+    def test_unknown_cca(self, capsys):
+        assert main(["classify", "nope"]) == 2
+
+
+class TestCycle:
+    def test_small_cycle(self, capsys):
+        code = main(
+            [
+                "cycle",
+                "--services", "iperf_cubic", "iperf_reno",
+                "--trials", "1",
+                "--duration", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "median losing share" in out
+
+
+class TestSweep:
+    def test_bandwidth_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "bandwidth", "iperf_cubic", "iperf_reno",
+                "--values", "4,8",
+                "--trials", "1",
+                "--duration", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4.00" in out and "8.00" in out

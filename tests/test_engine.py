@@ -1,0 +1,126 @@
+"""Discrete-event engine: ordering, determinism, clock semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.engine import Engine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(30, lambda: seen.append("c"))
+        engine.schedule(10, lambda: seen.append("a"))
+        engine.schedule(20, lambda: seen.append("b"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = Engine()
+        seen = []
+        for label in "abcde":
+            engine.schedule(5, lambda l=label: seen.append(l))
+        engine.run()
+        assert seen == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        times = []
+        engine.schedule(100, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [100]
+
+    def test_schedule_at_absolute(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+
+        def outer():
+            seen.append(("outer", engine.now))
+            engine.schedule(5, lambda: seen.append(("inner", engine.now)))
+
+        engine.schedule(10, outer)
+        engine.run()
+        assert seen == [("outer", 10), ("inner", 15)]
+
+    def test_rejects_negative_delay(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1, lambda: None)
+
+    def test_rejects_past_absolute_time(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(5, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10, lambda: seen.append(10))
+        engine.schedule(30, lambda: seen.append(30))
+        engine.run(until_usec=20)
+        assert seen == [10]
+        assert engine.now == 20
+
+    def test_boundary_event_included(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(20, lambda: seen.append(20))
+        engine.run(until_usec=20)
+        assert seen == [20]
+
+    def test_resume_after_boundary(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10, lambda: seen.append(10))
+        engine.schedule(30, lambda: seen.append(30))
+        engine.run(until_usec=20)
+        engine.run(until_usec=40)
+        assert seen == [10, 30]
+
+    def test_clock_jumps_to_until_when_idle(self):
+        engine = Engine()
+        engine.run(until_usec=500)
+        assert engine.now == 500
+
+    def test_pending_count(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        assert engine.pending() == 2
+        engine.run()
+        assert engine.pending() == 0
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+    def test_identical_schedules_run_identically(self, delays):
+        def run_once():
+            engine = Engine()
+            seen = []
+            for i, d in enumerate(delays):
+                engine.schedule(d, lambda i=i: seen.append((engine.now, i)))
+            engine.run()
+            return seen
+
+        assert run_once() == run_once()
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+    def test_events_never_run_out_of_order(self, delays):
+        engine = Engine()
+        stamps = []
+        for d in delays:
+            engine.schedule(d, lambda: stamps.append(engine.now))
+        engine.run()
+        assert stamps == sorted(stamps)

@@ -1,0 +1,147 @@
+"""Fault injection: the system degrades sanely under hostile conditions.
+
+External (upstream) loss, tiny queues, extreme bandwidth asymmetry - the
+failure modes a measurement platform must survive without wedging or
+producing nonsense numbers.
+"""
+
+import pytest
+
+from repro import units
+from repro.config import ExperimentConfig, NetworkConfig
+from repro.core.experiment import run_pair_experiment, run_solo_experiment
+from repro.core.testbed import Testbed
+from repro.services.catalog import default_catalog
+
+CATALOG = default_catalog()
+FAST = ExperimentConfig().scaled(30)
+
+
+def lossy(bw_mbps=10, loss=0.01, queue=None):
+    return NetworkConfig(
+        bandwidth_bps=units.mbps(bw_mbps),
+        external_loss_rate=loss,
+        queue_packets_override=queue,
+    )
+
+
+class TestExternalLossResilience:
+    def test_bulk_transfer_survives_one_percent_loss(self):
+        result = run_solo_experiment(
+            CATALOG.get("iperf_cubic"), lossy(loss=0.01), FAST, seed=1
+        )
+        # Loss-degraded but alive and making progress.
+        assert result.throughput_mbps("iperf_cubic") > 1.0
+
+    def test_bbr_tolerates_loss_better_than_reno(self):
+        """BBRv1 famously ignores random loss; Reno collapses."""
+        rates = {}
+        for sid in ("iperf_bbr", "iperf_reno"):
+            result = run_solo_experiment(
+                CATALOG.get(sid), lossy(loss=0.02), FAST, seed=2
+            )
+            rates[sid] = result.throughput_mbps(sid)
+        assert rates["iperf_bbr"] > 2 * rates["iperf_reno"]
+
+    def test_video_keeps_playing_under_loss(self):
+        result = run_solo_experiment(
+            CATALOG.get("youtube"), lossy(bw_mbps=20, loss=0.01), FAST, seed=3
+        )
+        metrics = result.service_metrics["youtube"]
+        assert metrics["chunks_fetched"] > 2
+        assert metrics["mean_selected_bitrate_bps"] > 0
+
+    def test_rtc_records_loss_as_quality_degradation(self):
+        result = run_solo_experiment(
+            CATALOG.get("meet"), lossy(bw_mbps=8, loss=0.05), FAST, seed=4
+        )
+        metrics = result.service_metrics["meet"]
+        # Frames are dropped, so the rendered FPS falls well below 30.
+        assert metrics["avg_fps"] < 28
+
+    def test_trials_marked_invalid(self):
+        result = run_pair_experiment(
+            CATALOG.get("iperf_cubic"),
+            CATALOG.get("iperf_reno"),
+            lossy(loss=0.01),
+            FAST,
+            seed=5,
+        )
+        assert not result.valid
+
+
+class TestPathologicalQueues:
+    def test_single_packet_queue(self):
+        result = run_pair_experiment(
+            CATALOG.get("iperf_cubic"),
+            CATALOG.get("iperf_reno"),
+            NetworkConfig(
+                bandwidth_bps=units.mbps(5), queue_packets_override=1
+            ),
+            FAST,
+            seed=6,
+        )
+        # Brutal but functional: traffic flows, loss is heavy.
+        assert result.utilization > 0.2
+        assert max(result.loss_rate.values()) > 0.01
+
+    def test_enormous_queue_keeps_working(self):
+        result = run_pair_experiment(
+            CATALOG.get("iperf_cubic"),
+            CATALOG.get("iperf_reno"),
+            NetworkConfig(
+                bandwidth_bps=units.mbps(10), queue_packets_override=50_000
+            ),
+            FAST,
+            seed=7,
+        )
+        assert result.utilization > 0.9
+        # Nothing is ever dropped in a bufferbloat-sized queue.
+        assert max(result.loss_rate.values()) == 0.0
+
+
+class TestExtremeBandwidths:
+    def test_very_slow_link(self):
+        result = run_solo_experiment(
+            CATALOG.get("iperf_reno"),
+            NetworkConfig(bandwidth_bps=units.mbps(0.5)),
+            FAST,
+            seed=8,
+        )
+        assert 0.3 < result.throughput_mbps("iperf_reno") <= 0.55
+
+    def test_very_fast_link(self):
+        result = run_solo_experiment(
+            CATALOG.get("iperf_bbr"),
+            NetworkConfig(bandwidth_bps=units.mbps(200)),
+            FAST,
+            seed=9,
+        )
+        assert result.throughput_mbps("iperf_bbr") > 150
+
+    def test_rtc_on_starved_link(self):
+        """An RTC call on a 0.5 Mbps link pins to the bottom rung but
+        does not crash or stall the simulation."""
+        result = run_solo_experiment(
+            CATALOG.get("meet"),
+            NetworkConfig(bandwidth_bps=units.mbps(0.5)),
+            FAST,
+            seed=10,
+        )
+        metrics = result.service_metrics["meet"]
+        assert metrics["resolution_p"] <= 360
+
+
+class TestDeterminismUnderFaults:
+    def test_identical_seeds_identical_results(self):
+        results = [
+            run_pair_experiment(
+                CATALOG.get("mega"),
+                CATALOG.get("iperf_reno"),
+                lossy(bw_mbps=20, loss=0.005),
+                FAST,
+                seed=11,
+            ).throughput_bps
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]

@@ -1,0 +1,130 @@
+"""Max-min fair allocation and fairness metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.core.metrics import harm, jains_fairness_index, mmf_share
+from repro.core.mmf import max_min_allocation, pair_allocation
+
+
+class TestMaxMinAllocation:
+    def test_two_unbounded_split_evenly(self):
+        assert max_min_allocation(50, [None, None]) == [25, 25]
+
+    def test_capped_service_frees_bandwidth(self):
+        # The paper's video case: a 13 Mbps-capped YouTube on 50 Mbps
+        # leaves 37 Mbps for its contender.
+        alloc = max_min_allocation(
+            units.mbps(50), [units.mbps(13), None]
+        )
+        assert alloc[0] == units.mbps(13)
+        assert alloc[1] == units.mbps(37)
+
+    def test_cap_above_fair_share_ignored(self):
+        alloc = max_min_allocation(units.mbps(8), [units.mbps(13), None])
+        assert alloc == [units.mbps(4), units.mbps(4)]
+
+    def test_all_capped_below_capacity(self):
+        alloc = max_min_allocation(100, [10, 20])
+        assert alloc == [10, 20]
+
+    def test_three_way_water_filling(self):
+        alloc = max_min_allocation(90, [10, None, None])
+        assert alloc == [10, 40, 40]
+
+    def test_empty(self):
+        assert max_min_allocation(10, []) == []
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            max_min_allocation(0, [None])
+
+    def test_pair_helper(self):
+        alloc = pair_allocation(units.mbps(50), units.mbps(8), None)
+        assert alloc["a"] == units.mbps(8)
+        assert alloc["b"] == units.mbps(42)
+
+    @given(
+        st.floats(min_value=1, max_value=1e9),
+        st.lists(
+            st.one_of(st.none(), st.floats(min_value=0.01, max_value=1e9)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_water_filling_invariants(self, capacity, caps):
+        alloc = max_min_allocation(capacity, caps)
+        # 1. No service exceeds its cap.
+        for a, cap in zip(alloc, caps):
+            if cap is not None:
+                assert a <= cap + 1e-6
+        # 2. Allocation never exceeds capacity.
+        assert sum(alloc) <= capacity + 1e-6
+        # 3. Work conservation: either capacity is exhausted or everyone
+        #    is at their cap.
+        if sum(alloc) < capacity - 1e-6:
+            assert all(
+                cap is not None and abs(a - cap) < 1e-6
+                for a, cap in zip(alloc, caps)
+            )
+        # 4. Max-min property: any service below its cap has an
+        #    allocation >= every other service's allocation... at least
+        #    the uncapped ones are all equal.
+        uncapped = [a for a, cap in zip(alloc, caps) if cap is None]
+        if uncapped:
+            assert max(uncapped) - min(uncapped) < 1e-6
+
+
+class TestMmfShare:
+    def test_exact_fair(self):
+        assert mmf_share(25e6, 25e6) == 1.0
+
+    def test_winner_above_one(self):
+        assert mmf_share(30e6, 25e6) == pytest.approx(1.2)
+
+    def test_loser_below_one(self):
+        # The paper's phrasing: 30 Mbps of a 40 Mbps share = 75%.
+        assert mmf_share(30e6, 40e6) == pytest.approx(0.75)
+
+    def test_negative_clamped(self):
+        assert mmf_share(-5, 10) == 0.0
+
+    def test_rejects_zero_allocation(self):
+        with pytest.raises(ValueError):
+            mmf_share(1, 0)
+
+
+class TestJainsIndex:
+    def test_equal_rates(self):
+        assert jains_fairness_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jains_fairness_index([10, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            jains_fairness_index([])
+
+    def test_all_zero(self):
+        assert jains_fairness_index([0, 0]) == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=16))
+    def test_bounded(self, rates):
+        index = jains_fairness_index(rates)
+        assert 0 < index <= 1.0 + 1e-9
+
+
+class TestHarm:
+    def test_unharmed(self):
+        assert harm(10e6, 10e6) == 0.0
+
+    def test_half_harmed(self):
+        assert harm(10e6, 5e6) == pytest.approx(0.5)
+
+    def test_improvement_clamped(self):
+        assert harm(10e6, 12e6) == 0.0
+
+    def test_rejects_zero_solo(self):
+        with pytest.raises(ValueError):
+            harm(0, 1)

@@ -1,0 +1,132 @@
+"""Scaled-down integration checks of the paper's headline observations.
+
+The benchmark harness regenerates the figures at full scale; these tests
+pin the *directions* at test-suite scale so regressions surface in
+``pytest tests/`` without running the benches.
+"""
+
+import pytest
+
+from repro import units
+from repro.config import ExperimentConfig, highly_constrained, moderately_constrained
+from repro.core.experiment import run_pair_experiment, run_solo_experiment
+from repro.services.catalog import default_catalog
+
+CATALOG = default_catalog()
+CONFIG = ExperimentConfig().scaled(60)
+HC = highly_constrained()
+MC = moderately_constrained()
+
+
+def pair(a, b, network, seed=1):
+    return run_pair_experiment(
+        CATALOG.get(a), CATALOG.get(b), network, CONFIG, seed=seed
+    )
+
+
+class TestObservation1:
+    def test_unfairness_is_common(self):
+        """Most pairings do not land at 100/100."""
+        unfair = 0
+        pairs = [
+            ("iperf_cubic", "iperf_reno"),
+            ("youtube", "iperf_cubic"),
+            ("mega", "youtube"),
+            ("netflix", "iperf_bbr"),
+        ]
+        for a, b in pairs:
+            result = pair(a, b, HC)
+            if min(result.mmf_share.values()) < 0.9:
+                unfair += 1
+        assert unfair >= 3
+
+
+class TestObservation2:
+    def test_same_cca_family_opposite_contentiousness(self):
+        """Mega and YouTube both run BBRv1; a loss-based incumbent fares
+        far better against YouTube than against Mega at 8 Mbps."""
+        vs_youtube = pair("youtube", "iperf_reno", HC).mmf_share["iperf_reno"]
+        vs_mega = pair("mega", "iperf_reno", HC).mmf_share["iperf_reno"]
+        assert vs_youtube > vs_mega
+
+
+class TestObservation3:
+    def test_multiflow_netflix_beats_singleflow_at_8mbps(self):
+        result = pair("netflix", "iperf_bbr", HC)
+        assert result.mmf_share["netflix"] > result.mmf_share["iperf_bbr"]
+
+    def test_netflix_harmless_when_application_limited(self):
+        """At 50 Mbps Netflix caps at 8 Mbps and cannot hurt anyone."""
+        result = pair("netflix", "iperf_bbr", MC)
+        assert result.mmf_share["iperf_bbr"] > 0.8
+
+
+class TestObservation6:
+    def test_rtc_delay_depends_on_contender_cca(self):
+        meet_vs_cubic = pair("meet", "iperf_cubic", HC)
+        meet_vs_dropbox = pair("meet", "dropbox", HC)
+        high_cubic = meet_vs_cubic.service_metrics["meet"]["fraction_high_delay"]
+        high_dropbox = meet_vs_dropbox.service_metrics["meet"]["fraction_high_delay"]
+        assert high_cubic > 0.4
+        assert high_dropbox < 0.1
+
+
+class TestObservation8:
+    def test_contention_slows_page_loads(self):
+        solo = run_solo_experiment(
+            CATALOG.get("wikipedia"), HC, ExperimentConfig().scaled(90), seed=2
+        )
+        contended = run_pair_experiment(
+            CATALOG.get("wikipedia"),
+            CATALOG.get("iperf_cubic"),
+            HC,
+            ExperimentConfig().scaled(90),
+            seed=2,
+        )
+        solo_plt = solo.service_metrics["wikipedia"].get("median_plt_sec")
+        cont_plt = contended.service_metrics["wikipedia"].get("median_plt_sec")
+        assert solo_plt is not None and cont_plt is not None
+        assert cont_plt > solo_plt
+
+
+class TestObservation11:
+    def test_bigger_buffer_hurts_reno_vs_cubic(self):
+        small = pair("iperf_cubic", "iperf_reno", HC, seed=3)
+        big = run_pair_experiment(
+            CATALOG.get("iperf_cubic"),
+            CATALOG.get("iperf_reno"),
+            HC.with_buffer_multiple(8.0),
+            CONFIG,
+            seed=3,
+        )
+        assert big.mmf_share["iperf_reno"] < small.mmf_share["iperf_reno"]
+
+
+class TestObservation13:
+    def test_stack_version_changes_outcome(self):
+        """YouTube's 2022 vs 2023 stacks get different throughput against
+        the same kernel-BBR competitor."""
+        old = pair("youtube_2022", "iperf_bbr_415", MC, seed=4)
+        new = pair("youtube", "iperf_bbr_415", MC, seed=4)
+        thr_old = old.throughput_bps["youtube_2022"]
+        thr_new = new.throughput_bps["youtube"]
+        assert thr_old != thr_new
+
+
+class TestObservation15:
+    def test_onedrive_wider_scatter_than_control(self):
+        from repro.core.stats import iqr, median as med
+
+        def scatter(a, b):
+            samples = []
+            for seed in range(1, 6):
+                result = pair(a, b, MC, seed=seed)
+                for sid, thr in result.throughput_bps.items():
+                    if sid.split("#")[0] == b:
+                        samples.append(thr)
+            q25, q75 = iqr(samples)
+            return (q75 - q25) / med(samples)
+
+        assert scatter("iperf_cubic", "onedrive") > scatter(
+            "iperf_cubic", "iperf_reno"
+        )

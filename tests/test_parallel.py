@@ -1,0 +1,112 @@
+"""Parallel trial execution (Section 9 scaling)."""
+
+import pytest
+
+from repro import units
+from repro.config import ExperimentConfig, highly_constrained
+from repro.core.experiment import run_pair_experiment
+from repro.core.parallel import ParallelRunner, TrialSpec, all_pairs_trials
+from repro.services.catalog import default_catalog
+
+FAST = ExperimentConfig().scaled(15)
+NET = highly_constrained()
+
+
+def make_trial(a="iperf_cubic", b="iperf_reno", seed=1):
+    return TrialSpec(
+        contender_id=a, incumbent_id=b, network=NET, config=FAST, seed=seed
+    )
+
+
+class TestTrialPlanning:
+    def test_all_pairs_enumeration(self):
+        trials = all_pairs_trials(
+            ["a", "b", "c"], NET, FAST, trials_per_pair=2
+        )
+        # 3 cross pairs + 3 self pairs, 2 trials each.
+        assert len(trials) == 12
+        seeds = [t.seed for t in trials]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_no_self_pairs(self):
+        trials = all_pairs_trials(
+            ["a", "b"], NET, FAST, trials_per_pair=1, include_self_pairs=False
+        )
+        assert len(trials) == 1
+        assert (trials[0].contender_id, trials[0].incumbent_id) == ("a", "b")
+
+
+class TestParallelExecution:
+    def test_empty_is_noop(self):
+        assert ParallelRunner(max_workers=2).run([]) == []
+
+    def test_results_match_sequential(self):
+        """Parallel execution is a pure wall-clock optimisation: the
+        seeded simulations produce bit-identical results."""
+        trial = make_trial(seed=9)
+        parallel = ParallelRunner(max_workers=2).run([trial, trial])
+        catalog = default_catalog()
+        sequential = run_pair_experiment(
+            catalog.get(trial.contender_id),
+            catalog.get(trial.incumbent_id),
+            trial.network,
+            trial.config,
+            seed=trial.seed,
+        )
+        for result in parallel:
+            assert result.throughput_bps == sequential.throughput_bps
+            assert result.mmf_share == sequential.mmf_share
+
+    def test_submission_order_preserved(self):
+        trials = [make_trial(seed=s) for s in (1, 2, 3)]
+        results = ParallelRunner(max_workers=3).run(trials)
+        assert [r.seed for r in results] == [1, 2, 3]
+
+    def test_run_into_store(self):
+        trials = all_pairs_trials(
+            ["iperf_cubic", "iperf_reno"],
+            NET,
+            FAST,
+            trials_per_pair=2,
+            include_self_pairs=False,
+        )
+        store = ParallelRunner(max_workers=2).run_into_store(trials)
+        shares = store.shares("iperf_reno", "iperf_cubic", NET.bandwidth_bps)
+        assert len(shares) == 2
+
+    def test_bad_catalog_factory_raises(self):
+        runner = ParallelRunner(
+            max_workers=1, catalog_factory="no.such.module:nope"
+        )
+        with pytest.raises(Exception):
+            runner.run([make_trial()])
+
+
+class TestParallelWatchdog:
+    def test_parallel_cycle_matches_pair_counts(self):
+        from repro import units
+        from repro.config import TrialPolicyConfig
+        from repro.core.watchdog import Prudentia
+
+        policy = TrialPolicyConfig(
+            min_trials=2,
+            max_trials=2,
+            batch_size=2,
+            ci_halfwidth_bps=units.mbps(100),
+        )
+        dog = Prudentia(
+            networks=[NET],
+            experiment_config=FAST,
+            policy_overrides={NET.bandwidth_bps: policy},
+            base_seed=3,
+        )
+        dog.run_cycle(
+            service_ids=["iperf_cubic", "iperf_reno"],
+            parallel_workers=2,
+        )
+        shares = dog.store.shares(
+            "iperf_reno", "iperf_cubic", NET.bandwidth_bps
+        )
+        assert len(shares) == 2
+        # Self pairs were also measured.
+        assert dog.store.shares("iperf_reno", "iperf_reno", NET.bandwidth_bps)

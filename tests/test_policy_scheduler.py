@@ -1,0 +1,139 @@
+"""Trial policy (Section 3.4 stopping rule) and round-robin scheduler."""
+
+import pytest
+
+from repro import units
+from repro.config import TrialPolicyConfig
+from repro.core.policy import TrialPolicy
+from repro.core.scheduler import RoundRobinScheduler
+
+
+def make_policy(min_trials=3, max_trials=9, batch=3, ci_mbps=0.5):
+    return TrialPolicy(
+        TrialPolicyConfig(
+            min_trials=min_trials,
+            max_trials=max_trials,
+            batch_size=batch,
+            ci_halfwidth_bps=units.mbps(ci_mbps),
+        )
+    )
+
+
+class TestTrialPolicy:
+    def test_below_minimum_needs_more(self):
+        policy = make_policy()
+        decision = policy.evaluate([[1e6], [2e6]])
+        assert decision.needs_more
+        assert not decision.converged
+
+    def test_stable_series_converges(self):
+        policy = make_policy()
+        stable = [[10e6, 10.01e6, 9.99e6], [5e6, 5.01e6, 4.99e6]]
+        decision = policy.evaluate(stable)
+        assert decision.converged
+        assert not decision.needs_more
+
+    def test_noisy_series_needs_more(self):
+        policy = make_policy()
+        noisy = [[1e6, 20e6, 5e6], [1e6, 1e6, 1e6]]
+        decision = policy.evaluate(noisy)
+        assert not decision.converged
+        assert decision.needs_more
+
+    def test_unstable_at_cap(self):
+        policy = make_policy(min_trials=3, max_trials=3)
+        noisy = [[1e6, 30e6, 5e6]]
+        decision = policy.evaluate(noisy)
+        assert decision.exhausted
+        assert decision.unstable
+
+    def test_mismatched_counts_rejected(self):
+        policy = make_policy()
+        with pytest.raises(ValueError):
+            policy.evaluate([[1e6, 2e6], [1e6]])
+
+    def test_batch_sizes(self):
+        policy = make_policy(min_trials=10, max_trials=30, batch=10)
+        assert policy.next_batch_size(0) == 10
+        assert policy.next_batch_size(10) == 10
+        assert policy.next_batch_size(25) == 5
+        assert policy.next_batch_size(30) == 0
+
+
+class TestScheduler:
+    def test_pair_enumeration(self):
+        sched = RoundRobinScheduler(["a", "b", "c"], make_policy())
+        pairs = set(sched.pairs)
+        assert ("a", "b") in pairs
+        assert ("a", "c") in pairs
+        assert ("b", "c") in pairs
+        assert ("a", "a") in pairs  # self-pairs included by default
+        assert len(pairs) == 6
+
+    def test_no_self_pairs(self):
+        sched = RoundRobinScheduler(
+            ["a", "b"], make_policy(), include_self_pairs=False
+        )
+        assert sched.pairs == [("a", "b")]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler([], make_policy())
+
+    def test_round_robin_interleaving(self):
+        """Trial k of every pair runs before trial k+1 of any pair."""
+        policy = make_policy(min_trials=3, max_trials=3, batch=3)
+        sched = RoundRobinScheduler(
+            ["a", "b", "c"], policy, include_self_pairs=False
+        )
+        order = []
+        for pair, seed in sched.work_items():
+            order.append(pair)
+            sched.record_result(
+                pair, {pair[0]: 10e6, pair[1]: 10e6}
+            )
+        # 3 pairs x 3 trials, interleaved.
+        assert len(order) == 9
+        assert order[:3] == [("a", "b"), ("a", "c"), ("b", "c")]
+        assert order[3:6] == order[:3]
+
+    def test_stable_pair_stops_at_min_trials(self):
+        policy = make_policy(min_trials=3, max_trials=9, batch=3)
+        sched = RoundRobinScheduler(
+            ["a", "b"], policy, include_self_pairs=False
+        )
+        count = 0
+        for pair, _seed in sched.work_items():
+            count += 1
+            sched.record_result(pair, {"a": 10e6, "b": 10e6})
+        assert count == 3
+        assert sched.states[("a", "b")].done
+        assert sched.unstable_pairs() == []
+
+    def test_noisy_pair_requeued_to_cap(self):
+        policy = make_policy(min_trials=3, max_trials=9, batch=3)
+        sched = RoundRobinScheduler(
+            ["a", "b"], policy, include_self_pairs=False
+        )
+        import random
+
+        rng = random.Random(0)
+        count = 0
+        for pair, _seed in sched.work_items():
+            count += 1
+            sched.record_result(
+                pair, {"a": rng.uniform(1e6, 50e6), "b": 10e6}
+            )
+        assert count == 9
+        assert sched.unstable_pairs() == [("a", "b")]
+
+    def test_seeds_distinct_per_trial(self):
+        policy = make_policy(min_trials=3, max_trials=3, batch=3)
+        sched = RoundRobinScheduler(
+            ["a", "b"], policy, include_self_pairs=False
+        )
+        seeds = []
+        for pair, seed in sched.work_items():
+            seeds.append(seed)
+            sched.record_result(pair, {"a": 1e6, "b": 1e6})
+        assert len(set(seeds)) == 3

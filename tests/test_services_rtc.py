@@ -1,0 +1,207 @@
+"""RTC services: frame accounting, QoE metrics, adaptation policies."""
+
+import pytest
+
+from repro import units
+from repro.config import highly_constrained
+from repro.core.testbed import Testbed
+from repro.cca.gcc import GoogleCongestionControl
+from repro.cca.teams import TeamsRateController
+from repro.services.iperf import IperfService
+from repro.services.rtc import (
+    ITU_RTT_LIMIT_USEC,
+    MeetAdaptationPolicy,
+    RtcMetrics,
+    RtcService,
+    TeamsAdaptationPolicy,
+)
+from repro.cca.cubic import Cubic
+
+
+def make_meet():
+    return RtcService(
+        "meet",
+        controller=GoogleCongestionControl(max_rate_bps=units.mbps(1.5)),
+        policy=MeetAdaptationPolicy(),
+    )
+
+
+def make_teams():
+    return RtcService(
+        "teams",
+        controller=TeamsRateController(max_rate_bps=units.mbps(2.6)),
+        policy=TeamsAdaptationPolicy(),
+    )
+
+
+class TestAdaptationPolicies:
+    def test_meet_protects_fps(self):
+        policy = MeetAdaptationPolicy()
+        for rate_mbps in (1.5, 0.8, 0.4, 0.2, 0.05):
+            _height, fps = policy.select(units.mbps(rate_mbps))
+            assert fps == 30.0
+
+    def test_meet_degrades_resolution(self):
+        policy = MeetAdaptationPolicy()
+        high, _ = policy.select(units.mbps(1.5))
+        low, _ = policy.select(units.mbps(0.2))
+        assert high == 720
+        assert low < 480
+
+    def test_teams_holds_resolution_sacrifices_fps(self):
+        policy = TeamsAdaptationPolicy()
+        res_high, fps_high = policy.select(units.mbps(2.0))
+        res_low, fps_low = policy.select(units.mbps(0.5))
+        assert res_high == 720
+        assert res_low >= 480  # holds resolution longer than Meet
+        assert fps_low < fps_high  # by paying in frame rate
+
+    def test_teams_fps_floor(self):
+        policy = TeamsAdaptationPolicy()
+        _res, fps = policy.select(units.mbps(0.05))
+        assert fps >= 10.0
+
+
+class TestRtcMetrics:
+    def test_freeze_definition(self):
+        """WebRTC freeze: gap > max(3*avg, avg + 150 ms)."""
+        metrics = RtcMetrics()
+        metrics.reset(0)
+        now = 0
+        for _ in range(30):  # steady 30 fps
+            now += 33_333
+            metrics.on_frame_rendered(now)
+        assert metrics.freezes == 0
+        now += 300_000  # a 300 ms gap: > avg + 150 ms
+        metrics.on_frame_rendered(now)
+        assert metrics.freezes == 1
+
+    def test_small_jitter_is_not_freeze(self):
+        metrics = RtcMetrics()
+        metrics.reset(0)
+        now = 0
+        for i in range(30):
+            now += 33_333 + (5_000 if i % 2 else -5_000)
+            metrics.on_frame_rendered(now)
+        assert metrics.freezes == 0
+
+    def test_high_delay_packets(self):
+        metrics = RtcMetrics()
+        metrics.reset(0)
+        metrics.on_packet(ITU_RTT_LIMIT_USEC - 1)
+        metrics.on_packet(ITU_RTT_LIMIT_USEC + 1)
+        summary = metrics.summary(units.seconds(1))
+        assert summary["fraction_high_delay"] == 0.5
+
+    def test_majority_resolution(self):
+        metrics = RtcMetrics()
+        metrics.reset(0)
+        metrics.add_resolution_time(720, units.seconds(10))
+        metrics.add_resolution_time(360, units.seconds(2))
+        assert metrics.summary(units.seconds(12))["resolution_p"] == 720
+
+    def test_fps_counts_rendered_frames(self):
+        metrics = RtcMetrics()
+        metrics.reset(0)
+        for i in range(60):
+            metrics.on_frame_rendered((i + 1) * 33_333)
+        summary = metrics.summary(units.seconds(2))
+        assert summary["avg_fps"] == pytest.approx(30, rel=0.05)
+
+
+class TestRtcServiceIntegration:
+    def test_solo_reaches_top_quality(self):
+        meet = make_meet()
+        testbed = Testbed(highly_constrained(), seed=1)
+        testbed.add_service(meet)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(10))
+        meet.on_measure_start()
+        testbed.bell.run(units.seconds(40))
+        metrics = meet.metrics()
+        assert metrics["resolution_p"] == 720
+        assert metrics["avg_fps"] > 25
+        assert metrics["fraction_high_delay"] == 0.0
+
+    def test_loss_based_contender_inflates_delay(self):
+        """Observation 6: a Cubic bulk flow pushes most RTC packets past
+        the ITU 190 ms requirement at 8 Mbps / 4xBDP."""
+        meet = make_meet()
+        cubic = IperfService("cubic", cca_factory=lambda i: Cubic())
+        testbed = Testbed(highly_constrained(), seed=1)
+        testbed.add_service(meet)
+        testbed.add_service(cubic)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(10))
+        meet.on_measure_start()
+        testbed.bell.run(units.seconds(50))
+        metrics = meet.metrics()
+        assert metrics["fraction_high_delay"] > 0.4
+        assert metrics["resolution_p"] < 720
+
+    def test_teams_sacrifices_fps_under_contention(self):
+        """Observation 5: under the same contender, Teams ends with a
+        higher resolution but a lower frame rate than Meet."""
+        results = {}
+        for name, factory in (("meet", make_meet), ("teams", make_teams)):
+            service = factory()
+            cubic = IperfService("cubic", cca_factory=lambda i: Cubic())
+            testbed = Testbed(highly_constrained(), seed=2)
+            testbed.add_service(service)
+            testbed.add_service(cubic)
+            testbed.start_all()
+            testbed.bell.run(units.seconds(10))
+            service.on_measure_start()
+            testbed.bell.run(units.seconds(50))
+            results[name] = service.metrics()
+        assert results["teams"]["resolution_p"] >= results["meet"]["resolution_p"]
+        assert results["teams"]["avg_fps"] < results["meet"]["avg_fps"]
+
+    def test_bytes_received_tracks_media(self):
+        meet = make_meet()
+        testbed = Testbed(highly_constrained(), seed=1)
+        testbed.add_service(meet)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(20))
+        assert meet.bytes_received > 0
+
+
+class TestJitterMetric:
+    def test_constant_delay_zero_jitter(self):
+        metrics = RtcMetrics()
+        metrics.reset(0)
+        for _ in range(50):
+            metrics.on_packet(60_000)
+        summary = metrics.summary(units.seconds(1))
+        assert summary["jitter_ms"] == 0.0
+        assert summary["mean_rtt_ms"] == pytest.approx(60.0)
+
+    def test_variable_delay_positive_jitter(self):
+        metrics = RtcMetrics()
+        metrics.reset(0)
+        for i in range(200):
+            metrics.on_packet(60_000 + (20_000 if i % 2 else 0))
+        summary = metrics.summary(units.seconds(1))
+        # RFC 3550 estimator converges towards the mean variation (20 ms).
+        assert 5.0 < summary["jitter_ms"] <= 20.0
+
+    def test_loss_based_contender_inflates_mean_rtt(self):
+        """The dominant latency effect of a buffer-filling contender is a
+        large mean RTT shift (jitter stays packet-scale because the
+        standing queue varies slowly)."""
+        quiet = make_meet()
+        testbed = Testbed(highly_constrained(), seed=3)
+        testbed.add_service(quiet)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(20))
+        solo = quiet.metrics()
+
+        noisy = make_meet()
+        testbed = Testbed(highly_constrained(), seed=3)
+        testbed.add_service(noisy)
+        testbed.add_service(IperfService("cubic", cca_factory=lambda i: Cubic()))
+        testbed.start_all()
+        testbed.bell.run(units.seconds(20))
+        contended = noisy.metrics()
+        assert contended["mean_rtt_ms"] > 2 * solo["mean_rtt_ms"]
+        assert contended["jitter_ms"] > 0

@@ -1,0 +1,114 @@
+"""Video-on-demand service: buffer dynamics, app-limiting, render caps."""
+
+import pytest
+
+from repro import units
+from repro.config import highly_constrained, moderately_constrained
+from repro.core.testbed import Testbed
+from repro.services.abr import BitrateLadder, ConservativeABR
+from repro.services.video import VideoOnDemandService
+from repro.cca.reno import NewReno
+
+
+def make_video(**overrides):
+    defaults = dict(
+        service_id="video",
+        cca_factory=lambda i: NewReno(),
+        ladder=BitrateLadder([units.mbps(m) for m in (0.5, 1, 2, 4, 8)]),
+        abr=ConservativeABR(),
+        num_flows=1,
+    )
+    defaults.update(overrides)
+    return VideoOnDemandService(**defaults)
+
+
+def run_solo(video, network, seconds=40, seed=0):
+    testbed = Testbed(network, seed=seed)
+    testbed.add_service(video)
+    testbed.start_all()
+    testbed.bell.run(units.seconds(seconds))
+    return testbed
+
+
+class TestPlayback:
+    def test_reaches_top_rung_on_fat_link(self):
+        video = make_video()
+        run_solo(video, moderately_constrained())
+        assert video.ladder[video.current_index] == units.mbps(8)
+
+    def test_application_limited_on_fat_link(self):
+        """Once the buffer fills, throughput ~ bitrate, not link rate."""
+        video = make_video()
+        testbed = run_solo(video, moderately_constrained(), seconds=60)
+        rate = video.bytes_received * 8 / 60 / 1e6
+        assert rate < 12  # well under the 50 Mbps link
+
+    def test_no_rebuffering_solo(self):
+        video = make_video()
+        run_solo(video, moderately_constrained(), seconds=60)
+        assert video.metrics()["rebuffer_events"] == 0
+
+    def test_buffer_bounded(self):
+        video = make_video(max_buffer_sec=30.0)
+        run_solo(video, moderately_constrained(), seconds=60)
+        assert video.buffer_sec <= 30.0 + 4.0  # one chunk of slack
+
+    def test_picks_sustainable_rung_on_thin_link(self):
+        video = make_video()
+        run_solo(video, highly_constrained(), seconds=60)
+        # 8 Mbps link: the conservative ABR settles at or below 4 Mbps.
+        assert video.ladder[video.current_index] <= units.mbps(4)
+
+    def test_solo_cap_is_top_bitrate(self):
+        video = make_video()
+        assert video.solo_rate_cap_bps() == units.mbps(8)
+
+
+class TestRenderCap:
+    def test_render_cap_limits_bitrate(self):
+        """Section 3.3: a headless client never requests above its
+        perceived decode capacity."""
+        video = make_video(render_cap_bps=units.mbps(1.2))
+        run_solo(video, moderately_constrained(), seconds=60)
+        assert video.ladder[video.current_index] <= units.mbps(1.2)
+
+    def test_faithful_client_outperforms_headless(self):
+        capped = make_video(render_cap_bps=units.mbps(1.2))
+        run_solo(capped, moderately_constrained(), seconds=60)
+        full = make_video()
+        run_solo(full, moderately_constrained(), seconds=60)
+        assert full.bytes_received > 2 * capped.bytes_received
+
+
+class TestMultiFlow:
+    def test_stripes_across_flows(self):
+        video = make_video(num_flows=4)
+        run_solo(video, moderately_constrained(), seconds=30)
+        active = [c for c in video.connections if c.bytes_received > 0]
+        assert len(active) == 4
+
+    def test_chunks_fetched_counted(self):
+        video = make_video()
+        run_solo(video, moderately_constrained(), seconds=30)
+        assert video.chunks_fetched > 3
+
+
+class TestMetricsWindowing:
+    def test_on_measure_start_resets(self):
+        video = make_video()
+        testbed = run_solo(video, highly_constrained(), seconds=30)
+        video.on_measure_start()
+        metrics = video.metrics()
+        assert metrics["rebuffer_events"] == 0
+        assert metrics["bitrate_switches"] == 0
+
+    def test_mean_selected_bitrate_positive(self):
+        video = make_video()
+        testbed = Testbed(moderately_constrained(), seed=0)
+        testbed.add_service(video)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(10))
+        video.on_measure_start()
+        testbed.bell.run(units.seconds(40))
+        metrics = video.metrics()
+        assert metrics["mean_selected_bitrate_bps"] > 0

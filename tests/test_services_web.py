@@ -1,0 +1,145 @@
+"""Web page loads: specs, pooling, SpeedIndex/PLT, the Section 5.2 protocol."""
+
+import pytest
+
+from repro import units
+from repro.config import highly_constrained, moderately_constrained
+from repro.core.testbed import Testbed
+from repro.cca.cubic import Cubic
+from repro.cca.bbr import BBRv1, BBR_LINUX_4_15
+from repro.services.iperf import IperfService
+from repro.services.web import (
+    MAX_CONNECTIONS_PER_DOMAIN,
+    PageSpec,
+    ResourceSpec,
+    WebPageService,
+)
+
+
+def small_page(n_resources=8, domain_count=1, size=60_000):
+    subresources = [
+        ResourceSpec(
+            f"asset-{i}",
+            size,
+            f"cdn{i % domain_count}.example.com",
+            above_fold=(i < n_resources // 2),
+        )
+        for i in range(n_resources)
+    ]
+    return PageSpec(
+        name="example.com",
+        html=ResourceSpec("html", 50_000, "example.com"),
+        subresources=subresources,
+    )
+
+
+def make_service(page=None, **kwargs):
+    return WebPageService(
+        "web",
+        page=page or small_page(),
+        cca_factory=lambda i: Cubic(),
+        initial_delay_usec=units.seconds(1),
+        load_gap_usec=units.seconds(3),
+        **kwargs,
+    )
+
+
+class TestPageSpec:
+    def test_rejects_empty_resource(self):
+        with pytest.raises(ValueError):
+            ResourceSpec("x", 0, "d")
+
+    def test_total_bytes(self):
+        page = small_page(n_resources=4, size=10_000)
+        assert page.total_bytes == 50_000 + 40_000
+
+    def test_above_fold_bytes(self):
+        page = small_page(n_resources=4, size=10_000)
+        # HTML (above fold) + half of the subresources.
+        assert page.above_fold_bytes == 50_000 + 20_000
+
+    def test_domains(self):
+        page = small_page(domain_count=3)
+        assert len(page.domains) == 4  # html domain + 3 CDNs
+
+
+class TestPageLoad:
+    def test_load_completes_and_records_plt(self):
+        service = make_service()
+        testbed = Testbed(moderately_constrained(), seed=1)
+        testbed.add_service(service)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(10))
+        assert len(service.results) >= 1
+        first = service.results[0]
+        assert first.plt95_usec is not None
+        assert first.plt95_usec <= first.complete_usec
+        assert first.speed_index_usec is not None
+
+    def test_repeated_loads_fresh_connections(self):
+        """Every load is a fresh Chrome: connection count grows."""
+        service = make_service()
+        testbed = Testbed(moderately_constrained(), seed=1)
+        testbed.add_service(service)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(15))
+        loads = len(service.results)
+        assert loads >= 2
+        assert len(service.connections) >= loads * 2
+
+    def test_connection_pool_respects_domain_limit(self):
+        page = small_page(n_resources=20, domain_count=1)
+        service = make_service(page=page)
+        service.load_gap_usec = units.seconds(600)  # a single load
+        testbed = Testbed(moderately_constrained(), seed=1)
+        testbed.add_service(service)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(8))
+        assert len(service.results) >= 1
+        # One domain for subresources + the html domain: two pools max,
+        # each capped at Chrome's six connections per domain.
+        assert len(service.connections) <= 2 * MAX_CONNECTIONS_PER_DOMAIN
+
+    def test_contention_inflates_plt(self):
+        """Fig 6: a bulk contender makes pages load much slower."""
+        def measure(with_contender):
+            testbed = Testbed(highly_constrained(), seed=3)
+            service = make_service(
+                page=small_page(n_resources=12, size=120_000)
+            )
+            testbed.add_service(service)
+            if with_contender:
+                testbed.add_service(
+                    IperfService(
+                        "bulk",
+                        cca_factory=lambda i: Cubic(),
+                    )
+                )
+            testbed.start_all()
+            testbed.bell.run(units.seconds(60))
+            samples = service.plt_samples_sec()
+            assert samples
+            return sorted(samples)[len(samples) // 2]
+
+        solo = measure(False)
+        contended = measure(True)
+        assert contended > 1.3 * solo
+
+    def test_metrics_summary(self):
+        service = make_service()
+        testbed = Testbed(moderately_constrained(), seed=1)
+        testbed.add_service(service)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(20))
+        metrics = service.metrics()
+        assert metrics["page_loads"] >= 2
+        assert metrics["min_plt_sec"] <= metrics["median_plt_sec"] <= metrics["max_plt_sec"]
+
+    def test_measure_window_reset(self):
+        service = make_service()
+        testbed = Testbed(moderately_constrained(), seed=1)
+        testbed.add_service(service)
+        testbed.start_all()
+        testbed.bell.run(units.seconds(10))
+        service.on_measure_start()
+        assert service.results == []

@@ -1,0 +1,62 @@
+"""The website-style markdown findings report."""
+
+import pytest
+
+from repro import units
+from repro.analysis.site import render_markdown_report
+from repro.core.experiment import ExperimentResult
+from repro.core.results import ResultStore
+
+BW = units.mbps(8)
+
+
+def synth(contender, incumbent, share_c, share_i, seed=0):
+    ids = [contender, incumbent]
+    return ExperimentResult(
+        contender_id=ids[0],
+        incumbent_id=ids[1],
+        bandwidth_bps=BW,
+        buffer_packets=128,
+        seed=seed,
+        duration_usec=units.seconds(60),
+        throughput_bps={sid: s * BW / 2 for sid, s in zip(ids, (share_c, share_i))},
+        mmf_allocation_bps={sid: BW / 2 for sid in ids},
+        mmf_share=dict(zip(ids, (share_c, share_i))),
+        loss_rate={sid: 0.0 for sid in ids},
+        queueing_delay_usec={sid: 0.0 for sid in ids},
+        utilization=1.0,
+    )
+
+
+@pytest.fixture
+def store():
+    store = ResultStore()
+    for seed in range(3):
+        store.add(synth("bully", "meek", 1.8, 0.2, seed))
+        store.add(synth("bully", "peer", 1.5, 0.5, seed))
+        store.add(synth("meek", "peer", 0.9, 1.1, seed))
+    return store
+
+
+class TestMarkdownReport:
+    def test_contains_headline_sections(self, store):
+        page = render_markdown_report(store, ["bully", "meek", "peer"], [BW])
+        assert "# Prudentia" in page
+        assert "## 8 Mbps bottleneck" in page
+        assert "median losing share" in page
+        assert "most contentious service: **bully**" in page
+
+    def test_worst_cells_listed(self, store):
+        page = render_markdown_report(store, ["bully", "meek", "peer"], [BW])
+        assert "meek gets 20% of its fair share against bully" in page
+
+    def test_empty_setting_skipped(self, store):
+        page = render_markdown_report(
+            store, ["bully", "meek", "peer"], [BW, units.mbps(50)]
+        )
+        assert "## 50 Mbps bottleneck" not in page
+
+    def test_grid_rendered_in_code_block(self, store):
+        page = render_markdown_report(store, ["bully", "meek", "peer"], [BW])
+        assert "```" in page
+        assert "rows = contender" in page

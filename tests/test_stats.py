@@ -1,0 +1,108 @@
+"""Medians, quantiles, bootstrap CIs, trial summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stats import (
+    bootstrap_median_ci,
+    iqr,
+    median,
+    quantile,
+    summarize_trials,
+)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_even(self):
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_single(self):
+        assert median([7]) == 7
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1))
+    def test_median_within_range(self, samples):
+        assert min(samples) <= median(samples) <= max(samples)
+
+
+class TestQuantile:
+    def test_bounds(self):
+        data = [1, 2, 3, 4]
+        assert quantile(data, 0) == 1
+        assert quantile(data, 1) == 4
+
+    def test_interpolation(self):
+        assert quantile([0, 10], 0.25) == 2.5
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_iqr(self):
+        q25, q75 = iqr(list(range(1, 101)))
+        assert q25 == pytest.approx(25.75)
+        assert q75 == pytest.approx(75.25)
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2),
+    )
+    def test_iqr_ordered(self, samples):
+        q25, q75 = iqr(samples)
+        assert q25 <= q75
+
+
+class TestBootstrap:
+    def test_single_sample_degenerate(self):
+        assert bootstrap_median_ci([5.0]) == (5.0, 5.0)
+
+    def test_ci_contains_median_for_tight_data(self):
+        data = [10.0, 10.1, 9.9, 10.05, 9.95] * 4
+        low, high = bootstrap_median_ci(data, seed=1)
+        assert low <= median(data) <= high
+
+    def test_ci_narrows_with_more_data(self):
+        import random
+
+        rng = random.Random(0)
+        small = [rng.gauss(10, 1) for _ in range(8)]
+        large = [rng.gauss(10, 1) for _ in range(100)]
+        lo_s, hi_s = bootstrap_median_ci(small, seed=2)
+        lo_l, hi_l = bootstrap_median_ci(large, seed=2)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_median_ci(data, seed=7) == bootstrap_median_ci(data, seed=7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestTrialSummary:
+    def test_fields(self):
+        summary = summarize_trials([10.0, 12.0, 11.0, 13.0, 9.0])
+        assert summary.n == 5
+        assert summary.median == 11.0
+        assert summary.q25 <= summary.median <= summary.q75
+        assert summary.ci_low <= summary.median <= summary.ci_high
+        assert summary.ci_halfwidth >= 0
+        assert summary.iqr_width == summary.q75 - summary.q25
+
+    def test_stable_series_tiny_halfwidth(self):
+        summary = summarize_trials([10.0] * 20)
+        assert summary.ci_halfwidth == 0.0

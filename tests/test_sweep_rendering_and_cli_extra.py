@@ -1,0 +1,54 @@
+"""Extra CLI paths (buffer/rtt sweeps, vegas) and sweep rendering."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliSweepKinds:
+    def test_buffer_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "buffer", "iperf_cubic", "iperf_reno",
+                "--values", "2,8",
+                "--trials", "1",
+                "--duration", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffer xBDP" in out
+        assert "2.00" in out and "8.00" in out
+
+    def test_rtt_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "rtt", "iperf_cubic", "iperf_reno",
+                "--values", "20,50",
+                "--trials", "1",
+                "--duration", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RTT ms" in out
+
+    def test_invalid_sweep_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "volume", "a", "b", "--values", "1"])
+
+
+class TestCliClassifyVegas:
+    def test_vegas_labelled_delay_based(self, capsys):
+        code = main(["classify", "vegas", "--duration", "20"])
+        assert code == 0
+        assert "delay-based" in capsys.readouterr().out
+
+    def test_classify_json(self, capsys):
+        code = main(["classify", "reno", "--duration", "20", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["label"] == "reno-like"
+        assert 0 <= payload["loss_rate"] <= 1

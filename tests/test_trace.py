@@ -1,0 +1,74 @@
+"""Queue logs and packet traces (the published experiment artifacts)."""
+
+import pytest
+
+from repro.netsim.trace import PacketTrace, QueueLog
+
+
+class TestQueueLog:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            QueueLog(sample_period_usec=0)
+
+    def test_samples_on_period(self):
+        log = QueueLog(sample_period_usec=100)
+        log.maybe_sample(0, 5)
+        log.maybe_sample(50, 6)   # skipped: within period
+        log.maybe_sample(100, 7)  # taken
+        log.maybe_sample(150, 8)  # skipped
+        log.maybe_sample(250, 9)  # taken
+        times, occs = log.occupancy_series()
+        assert times == [0, 100, 250]
+        assert occs == [5, 7, 9]
+
+    def test_empty_series(self):
+        assert QueueLog().occupancy_series() == ([], [])
+
+    def test_json_roundtrippable(self):
+        log = QueueLog(sample_period_usec=10)
+        log.maybe_sample(0, 1)
+        log.record_drop(5, "svc")
+        payload = log.to_json()
+        assert payload["samples"] == [(0, 1)]
+        assert payload["drop_events"] == [(5, "svc")]
+
+
+class TestPacketTrace:
+    def test_disabled_trace_records_nothing(self):
+        trace = PacketTrace(enabled=False)
+        trace.record(0, "a", 1500)
+        assert trace.records == []
+
+    def test_bytes_delivered_window(self):
+        trace = PacketTrace()
+        trace.record(100, "a", 1500)
+        trace.record(200, "a", 1500)
+        trace.record(300, "b", 1500)
+        trace.record(400, "a", 1500)
+        assert trace.bytes_delivered("a") == 4500
+        assert trace.bytes_delivered("a", start_usec=150) == 3000
+        assert trace.bytes_delivered("a", start_usec=150, end_usec=400) == 1500
+        assert trace.bytes_delivered("b") == 1500
+
+    def test_throughput_series_binning(self):
+        trace = PacketTrace()
+        # 2 packets in bin 0, 1 packet in bin 2.
+        trace.record(100, "a", 1500)
+        trace.record(200, "a", 1500)
+        trace.record(2_500_000, "a", 1500)
+        times, rates = trace.throughput_series("a", bin_usec=1_000_000)
+        assert len(times) == 3
+        assert rates[0] == pytest.approx(3000 * 8 / 1_000_000)
+        assert rates[1] == 0.0
+        assert rates[2] == pytest.approx(1500 * 8 / 1_000_000)
+
+    def test_throughput_series_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            PacketTrace().throughput_series("a", bin_usec=0)
+
+    def test_series_filters_service(self):
+        trace = PacketTrace()
+        trace.record(0, "a", 1500)
+        trace.record(0, "b", 3000)
+        _times, rates = trace.throughput_series("b", bin_usec=1000)
+        assert rates[0] == pytest.approx(3000 * 8 / 1000)

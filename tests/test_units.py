@@ -1,0 +1,106 @@
+"""Unit conversions and the BESS power-of-two queue-size quirk."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_mbps_roundtrip(self):
+        assert units.to_mbps(units.mbps(50)) == pytest.approx(50.0)
+
+    def test_mbps_scale(self):
+        assert units.mbps(8) == 8_000_000.0
+
+    @given(st.floats(min_value=0.001, max_value=1e5))
+    def test_mbps_roundtrip_property(self, value):
+        assert units.to_mbps(units.mbps(value)) == pytest.approx(value)
+
+
+class TestTimeConversions:
+    def test_seconds(self):
+        assert units.seconds(1.5) == 1_500_000
+
+    def test_msec(self):
+        assert units.msec(50) == 50_000
+
+    def test_to_seconds(self):
+        assert units.to_seconds(2_500_000) == pytest.approx(2.5)
+
+    def test_to_msec(self):
+        assert units.to_msec(1_500) == pytest.approx(1.5)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_usec_seconds_roundtrip(self, usec):
+        assert units.seconds(units.to_seconds(usec)) == usec
+
+
+class TestSerialization:
+    def test_full_packet_at_8mbps(self):
+        # 1500 B = 12000 bits at 8 Mbps -> 1500 us.
+        assert units.serialization_time_usec(1500, units.mbps(8)) == 1500
+
+    def test_full_packet_at_50mbps(self):
+        assert units.serialization_time_usec(1500, units.mbps(50)) == 240
+
+    def test_minimum_one_usec(self):
+        assert units.serialization_time_usec(1, units.mbps(10_000)) == 1
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            units.serialization_time_usec(1500, 0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            units.serialization_time_usec(1500, -1)
+
+
+class TestBdp:
+    def test_bdp_bytes_8mbps_50ms(self):
+        # 8 Mbps * 50 ms = 400 kbit = 50 kB.
+        assert units.bdp_bytes(units.mbps(8), units.msec(50)) == pytest.approx(
+            50_000
+        )
+
+    def test_bdp_packets_8mbps(self):
+        bdp = units.bdp_packets(units.mbps(8), units.msec(50))
+        assert bdp == pytest.approx(33.33, abs=0.01)
+
+    def test_bdp_packets_50mbps(self):
+        bdp = units.bdp_packets(units.mbps(50), units.msec(50))
+        assert bdp == pytest.approx(208.33, abs=0.01)
+
+
+class TestNearestPowerOfTwo:
+    def test_paper_queue_sizes(self):
+        # The paper's 4xBDP buffers: 133 pkts -> 128 and 833 pkts -> 1024.
+        assert units.nearest_power_of_two(4 * 33.33) == 128
+        assert units.nearest_power_of_two(4 * 208.33) == 1024
+
+    def test_exact_power(self):
+        assert units.nearest_power_of_two(256) == 256
+
+    def test_rounds_down(self):
+        assert units.nearest_power_of_two(129) == 128
+
+    def test_rounds_up(self):
+        assert units.nearest_power_of_two(200) == 256
+
+    def test_tie_rounds_up(self):
+        assert units.nearest_power_of_two(192) == 256
+
+    def test_small_values(self):
+        assert units.nearest_power_of_two(0.5) == 1
+        assert units.nearest_power_of_two(1) == 1
+
+    @given(st.floats(min_value=1, max_value=1e9))
+    def test_result_is_power_of_two(self, value):
+        result = units.nearest_power_of_two(value)
+        assert result & (result - 1) == 0
+
+    @given(st.floats(min_value=2, max_value=1e9))
+    def test_within_factor_sqrt2ish(self, value):
+        # The nearest power of two is always within a factor of 2.
+        result = units.nearest_power_of_two(value)
+        assert value / 2 <= result <= value * 2

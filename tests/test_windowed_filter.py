@@ -1,0 +1,110 @@
+"""Windowed min/max filters (BBR's btlbw and RTprop estimators)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.transport.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+
+
+class TestMaxFilter:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WindowedMaxFilter(0)
+
+    def test_empty_get(self):
+        assert WindowedMaxFilter(10).get() == 0.0
+
+    def test_tracks_max(self):
+        f = WindowedMaxFilter(10)
+        f.update(3.0, 0)
+        f.update(7.0, 1)
+        f.update(5.0, 2)
+        assert f.get() == 7.0
+
+    def test_old_max_expires(self):
+        f = WindowedMaxFilter(10)
+        f.update(100.0, 0)
+        for t in range(1, 30):
+            f.update(5.0, t)
+        assert f.get() == 5.0
+
+    def test_reset(self):
+        f = WindowedMaxFilter(10)
+        f.update(100.0, 0)
+        f.reset(1.0, 5)
+        assert f.get() == 1.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1e9),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_value_bounded_by_window_samples(self, samples):
+        """The (approximate) filter always reports a value that some
+        in-window sample actually attained."""
+        f = WindowedMaxFilter(10)
+        now = 0
+        history = []
+        for value, step in samples:
+            now += step
+            f.update(value, now)
+            history.append((value, now))
+        window = [v for v, t in history if now - t <= 10]
+        assert min(window) - 1e-9 <= f.get() <= max(window) + 1e-9
+
+    def test_exact_linux_semantics_example(self):
+        # A high sample followed by silence resets to the fresh sample
+        # once the whole structure has aged out.
+        f = WindowedMaxFilter(10)
+        f.update(10.0, 0)
+        f.update(2.0, 11)
+        assert f.get() == 2.0
+
+    def test_runner_up_promoted_on_best_expiry(self):
+        f = WindowedMaxFilter(10)
+        f.update(10.0, 0)
+        f.update(8.0, 3)   # recorded via quarter-window promotion
+        f.update(1.0, 11)  # best expires; runner-up promoted
+        assert f.get() == 8.0
+
+
+class TestMinFilter:
+    def test_tracks_min(self):
+        f = WindowedMinFilter(10)
+        f.update(30.0, 0)
+        f.update(10.0, 1)
+        f.update(20.0, 2)
+        assert f.get() == 10.0
+
+    def test_old_min_expires(self):
+        f = WindowedMinFilter(10)
+        f.update(1.0, 0)
+        for t in range(1, 30):
+            f.update(50.0, t)
+        assert f.get() == 50.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1e9),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_value_bounded_by_window_samples(self, samples):
+        f = WindowedMinFilter(10)
+        now = 0
+        history = []
+        for value, step in samples:
+            now += step
+            f.update(value, now)
+            history.append((value, now))
+        window = [v for v, t in history if now - t <= 10]
+        assert min(window) - 1e-9 <= f.get() <= max(window) + 1e-9
