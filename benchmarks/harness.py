@@ -10,6 +10,10 @@ benches default to 80-second experiments with 3 trials so the entire
 harness finishes in tens of minutes on one core.  Override with::
 
     PRUDENTIA_BENCH_DURATION=600 PRUDENTIA_BENCH_TRIALS=10 pytest benchmarks/
+
+Trials dispatch through the unified execution backend; point
+``PRUDENTIA_BENCH_CACHE_DIR`` at a directory to make repeated harness
+runs skip every already-simulated trial (content-addressed caching).
 """
 
 from __future__ import annotations
@@ -25,17 +29,20 @@ from repro.config import (
     highly_constrained,
     moderately_constrained,
 )
+from repro.core.cache import TrialCache
 from repro.core.experiment import (
     ExperimentResult,
     run_pair_experiment,
     run_solo_experiment,
 )
 from repro.core.results import ResultStore
+from repro.core.runner import InlineBackend, TrialSpec
 from repro.core.stats import median
 from repro.services.catalog import default_catalog
 
 DURATION_SEC = float(os.environ.get("PRUDENTIA_BENCH_DURATION", "80"))
 TRIALS = int(os.environ.get("PRUDENTIA_BENCH_TRIALS", "3"))
+_CACHE_DIR = os.environ.get("PRUDENTIA_BENCH_CACHE_DIR")
 
 CONFIG = ExperimentConfig().scaled(DURATION_SEC)
 #: Longer config for workloads that need steady state (video calibration).
@@ -49,6 +56,13 @@ SETTINGS: Dict[str, NetworkConfig] = {
 }
 
 CATALOG = default_catalog()
+
+#: Every benchmark trial flows through this backend (with optional
+#: content-addressed caching), never a direct experiment call.
+BACKEND = InlineBackend(
+    catalog=CATALOG,
+    cache=TrialCache(Path(_CACHE_DIR)) if _CACHE_DIR else None,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -74,18 +88,37 @@ def run_trials(
     base_seed: int = 1,
     **kwargs,
 ) -> List[ExperimentResult]:
-    """Run several seeded trials of one pair."""
-    return [
-        run_pair_experiment(
-            CATALOG.get(contender_id),
-            CATALOG.get(incumbent_id),
-            network,
-            config or CONFIG,
-            seed=base_seed + trial,
-            **kwargs,
-        )
-        for trial in range(trials)
-    ]
+    """Run several seeded trials of one pair.
+
+    Trials dispatch through the shared execution backend (and so hit the
+    trial cache, when enabled).  Extra keyword arguments (``env``,
+    ``trace_packets``, cap overrides) describe conditions the declarative
+    spec does not carry, so those fall back to the direct experiment call.
+    """
+    if kwargs:
+        return [
+            run_pair_experiment(
+                CATALOG.get(contender_id),
+                CATALOG.get(incumbent_id),
+                network,
+                config or CONFIG,
+                seed=base_seed + trial,
+                **kwargs,
+            )
+            for trial in range(trials)
+        ]
+    return BACKEND.run(
+        [
+            TrialSpec.pair(
+                contender_id,
+                incumbent_id,
+                network,
+                config or CONFIG,
+                seed=base_seed + trial,
+            )
+            for trial in range(trials)
+        ]
+    )
 
 
 def median_share(

@@ -30,7 +30,14 @@ from .config import (
     NetworkConfig,
     TrialPolicyConfig,
 )
-from .core.experiment import run_pair_experiment, run_solo_experiment
+from .core.cache import TrialCache
+from .core.experiment import run_solo_experiment
+from .core.runner import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    TrialSpec,
+)
 from .core.sweep import bandwidth_sweep, buffer_sweep, render_sweep, rtt_sweep
 from .core.watchdog import Prudentia
 from .services.catalog import default_catalog
@@ -54,6 +61,45 @@ def _network(args) -> NetworkConfig:
 
 def _config(args) -> ExperimentConfig:
     return ExperimentConfig().scaled(args.duration)
+
+
+def _cache(args) -> "TrialCache | None":
+    if getattr(args, "cache_dir", None):
+        return TrialCache(args.cache_dir)
+    return None
+
+
+def _backend(args) -> ExecutionBackend:
+    """The execution backend CLI commands dispatch trials through."""
+    cache = _cache(args)
+    if getattr(args, "workers", None):
+        return ProcessPoolBackend(max_workers=args.workers, cache=cache)
+    return InlineBackend(catalog=default_catalog(), cache=cache)
+
+
+def _print_runner_stats(args, backend: ExecutionBackend) -> None:
+    """One summary line of execution counters (only when caching)."""
+    if not getattr(args, "cache_dir", None):
+        return
+    stats = backend.stats
+    print(
+        f"[runner] {stats.trials_run} simulated, "
+        f"{stats.cache_hits} cache hits, "
+        f"{stats.wall_clock_sec:.1f}s simulating",
+        file=sys.stderr,
+    )
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan trials out over N worker processes (default: inline)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed trial cache directory; re-runs skip "
+             "already-simulated trials",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -121,14 +167,16 @@ def cmd_solo(args) -> int:
 
 def cmd_pair(args) -> int:
     """Run one pair experiment and print both MmF shares."""
-    catalog = default_catalog()
-    result = run_pair_experiment(
-        catalog.get(args.service_a),
-        catalog.get(args.service_b),
+    backend = _backend(args)
+    spec = TrialSpec.pair(
+        args.service_a,
+        args.service_b,
         _network(args),
         _config(args),
         seed=args.seed,
     )
+    result = backend.run([spec])[0]
+    _print_runner_stats(args, backend)
     if args.json:
         print(json.dumps(result.to_json(), indent=1))
         return 0
@@ -158,9 +206,18 @@ def cmd_cycle(args) -> int:
             )
         },
         base_seed=args.seed,
+        cache=_cache(args),
     )
     ids = args.services or watchdog.catalog.heatmap_ids()
-    watchdog.run_cycle(service_ids=ids)
+    watchdog.run_cycle(service_ids=ids, parallel_workers=args.workers)
+    stats = watchdog.last_cycle_stats
+    if args.cache_dir and stats is not None:
+        print(
+            f"[runner] {stats.trials_run} simulated, "
+            f"{stats.cache_hits} cache hits, "
+            f"{stats.wall_clock_sec:.1f}s simulating",
+            file=sys.stderr,
+        )
     report = watchdog.report(_network(args), service_ids=ids)
     print(report.render_heatmap())
     stats = report.losing_service_stats()
@@ -198,25 +255,27 @@ def cmd_sweep(args) -> int:
     spec_a = catalog.get(args.service_a)
     spec_b = catalog.get(args.service_b)
     config = _config(args)
+    backend = _backend(args)
     values = [float(v) for v in args.values.split(",")]
     if args.kind == "bandwidth":
         points = bandwidth_sweep(
             spec_a, spec_b, values, config,
-            trials=args.trials, base_seed=args.seed,
+            trials=args.trials, base_seed=args.seed, backend=backend,
         )
         name = "bandwidth Mbps"
     elif args.kind == "buffer":
         points = buffer_sweep(
             spec_a, spec_b, values, _network(args), config,
-            trials=args.trials, base_seed=args.seed,
+            trials=args.trials, base_seed=args.seed, backend=backend,
         )
         name = "buffer xBDP"
     else:
         points = rtt_sweep(
             spec_a, spec_b, values, _network(args), config,
-            trials=args.trials, base_seed=args.seed,
+            trials=args.trials, base_seed=args.seed, backend=backend,
         )
         name = "RTT ms"
+    _print_runner_stats(args, backend)
     print(render_sweep(points, args.service_a, args.service_b, name))
     return 0
 
@@ -242,12 +301,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("service_a")
     p.add_argument("service_b")
     _add_common(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_pair)
 
     p = sub.add_parser("cycle", help="run an all-pairs watchdog cycle")
     p.add_argument("--services", nargs="*", default=None)
     p.add_argument("--trials", type=int, default=3)
     _add_common(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_cycle)
 
     p = sub.add_parser("classify", help="classify a congestion controller")
@@ -265,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated parameter values")
     p.add_argument("--trials", type=int, default=3)
     _add_common(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_sweep)
 
     return parser

@@ -33,7 +33,18 @@ from .sweep import (
     render_sweep,
     rtt_sweep,
 )
-from .parallel import ParallelRunner, TrialSpec, all_pairs_trials
+from .cache import TrialCache, trial_cache_key
+from .runner import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    RunnerStats,
+    TrialSpec,
+    all_pairs_trials,
+    run_trial,
+)
+from .experiment import derive_service_seed, run_service_specs
+from .parallel import ParallelRunner
 from .policy import TrialPolicy
 from .scheduler import RoundRobinScheduler, PairState
 from .artifacts import ArtifactPublisher, PublishedExperiment
@@ -68,6 +79,15 @@ __all__ = [
     "ParallelRunner",
     "TrialSpec",
     "all_pairs_trials",
+    "TrialCache",
+    "trial_cache_key",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "RunnerStats",
+    "run_trial",
+    "run_service_specs",
+    "derive_service_seed",
     "TrialPolicy",
     "RoundRobinScheduler",
     "PairState",

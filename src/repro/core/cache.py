@@ -1,0 +1,148 @@
+"""Content-addressed trial result caching.
+
+Every trial in this repository is a *deterministic* seeded simulation:
+identical ``(service ids, network, experiment config, seed, client
+environment)`` inputs produce bit-identical :class:`ExperimentResult`
+outputs.  That makes redundant simulation pure waste - TURBOTEST-style
+measurement reuse applies exactly - so the execution backends consult a
+:class:`TrialCache` before running anything and re-runs of sweeps,
+benchmarks, and watchdog cycles skip already-simulated trials entirely.
+
+Keys are stable SHA-256 digests over a canonical JSON encoding of the
+trial inputs plus a schema version, so a cache survives process restarts
+(when given a directory) and is automatically invalidated when the result
+schema changes.  Values are ``ExperimentResult.to_json()`` payloads - the
+same serialisation :class:`~repro.core.results.ResultStore` persists, so
+cached trials round-trip through the store unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+from ..browser.environment import ClientEnvironment
+from .experiment import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .runner import TrialSpec
+
+#: Bump whenever ExperimentResult serialisation or trial semantics change
+#: in a way that makes previously cached payloads stale.
+CACHE_SCHEMA_VERSION = 1
+
+
+def trial_cache_key(
+    spec: "TrialSpec", env: Optional[ClientEnvironment] = None
+) -> str:
+    """Stable content hash addressing one deterministic trial.
+
+    The key covers everything that feeds the simulation: service ids (in
+    order - order decides per-service seed derivation), the full network
+    and experiment configs, the trial seed, the client environment
+    (``None`` normalises to the faithful testbed, which is what service
+    factories substitute for it), and the cache schema version.
+    """
+    resolved_env = env or ClientEnvironment.faithful_testbed()
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "service_ids": list(spec.service_ids),
+        "network": dataclasses.asdict(spec.network),
+        "config": dataclasses.asdict(spec.config),
+        "seed": spec.seed,
+        "env": dataclasses.asdict(resolved_env),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TrialCache:
+    """Content-addressed store of simulated trial results.
+
+    With a ``cache_dir`` every entry is one ``<digest>.json`` file, so
+    caches are shareable between processes and survive restarts; without
+    one the cache is a per-process dictionary (useful for tests and for
+    deduplicating within a single sweep).  An in-memory index is kept in
+    front of the directory either way, so repeated hits never re-read
+    files.
+    """
+
+    def __init__(self, cache_dir: Optional[Path] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(
+        self, spec: "TrialSpec", env: Optional[ClientEnvironment] = None
+    ) -> Optional[ExperimentResult]:
+        """The cached result for this trial, or ``None`` on a miss."""
+        key = trial_cache_key(spec, env)
+        payload = self._memory.get(key)
+        if payload is None and self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                payload = json.loads(path.read_text())
+                self._memory[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ExperimentResult.from_json(payload)
+
+    def put(
+        self,
+        spec: "TrialSpec",
+        result: ExperimentResult,
+        env: Optional[ClientEnvironment] = None,
+    ) -> None:
+        """Record one simulated trial under its content address."""
+        key = trial_cache_key(spec, env)
+        payload = result.to_json()
+        self._memory[key] = payload
+        self.stores += 1
+        if self.cache_dir is not None:
+            self._path(key).write_text(json.dumps(payload, indent=1))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def results(self) -> Iterator[ExperimentResult]:
+        """Iterate every cached result (disk entries included)."""
+        seen = set(self._memory)
+        for payload in self._memory.values():
+            yield ExperimentResult.from_json(payload)
+        if self.cache_dir is not None:
+            for path in sorted(self.cache_dir.glob("*.json")):
+                if path.stem in seen:
+                    continue
+                yield ExperimentResult.from_json(json.loads(path.read_text()))
+
+    def __len__(self) -> int:
+        entries = set(self._memory)
+        if self.cache_dir is not None:
+            entries.update(p.stem for p in self.cache_dir.glob("*.json"))
+        return len(entries)
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk) and reset counters."""
+        self._memory.clear()
+        if self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink()
+        self.hits = self.misses = self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"

@@ -10,11 +10,14 @@ testbed or by an encoding cap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..config import ExperimentConfig, NetworkConfig
 from ..services.catalog import ServiceCatalog, ServiceSpec
-from .experiment import run_solo_experiment
+from .experiment import ExperimentResult, run_solo_experiment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import ExecutionBackend
 
 
 @dataclass
@@ -58,14 +61,12 @@ class SoloCalibration:
         return self.solo_throughput_bps < 0.9 * self.documented_cap_bps
 
 
-def calibrate_service(
+def _calibration_from_result(
     spec: ServiceSpec,
     network: NetworkConfig,
-    config: ExperimentConfig,
-    seed: int = 0,
+    result: ExperimentResult,
 ) -> SoloCalibration:
-    """Measure one service solo and classify its ceiling."""
-    result = run_solo_experiment(spec, network, config, seed=seed)
+    """Classify one solo result's throughput ceiling."""
     return SoloCalibration(
         service_id=spec.service_id,
         solo_throughput_bps=result.throughput_bps[spec.service_id],
@@ -74,21 +75,46 @@ def calibrate_service(
     )
 
 
+def calibrate_service(
+    spec: ServiceSpec,
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    seed: int = 0,
+) -> SoloCalibration:
+    """Measure one service solo and classify its ceiling."""
+    result = run_solo_experiment(spec, network, config, seed=seed)
+    return _calibration_from_result(spec, network, result)
+
+
 def calibrate_catalog(
     catalog: ServiceCatalog,
     network: NetworkConfig,
     config: ExperimentConfig,
     service_ids: Optional[List[str]] = None,
     seed: int = 0,
+    backend: Optional["ExecutionBackend"] = None,
 ) -> Dict[str, SoloCalibration]:
-    """Solo-run every service; returns per-service calibrations."""
+    """Solo-run every service; returns per-service calibrations.
+
+    Dispatches through an :class:`ExecutionBackend` (inline over this
+    catalog by default), so calibration sweeps parallelise and cache the
+    same way pair cycles do.
+    """
+    from .runner import InlineBackend, TrialSpec
+
     ids = service_ids if service_ids is not None else catalog.ids()
-    calibrations = {}
-    for index, service_id in enumerate(ids):
-        calibrations[service_id] = calibrate_service(
-            catalog.get(service_id), network, config, seed=seed + index
+    runner = backend or InlineBackend(catalog=catalog)
+    trials = [
+        TrialSpec.solo(service_id, network, config, seed=seed + index)
+        for index, service_id in enumerate(ids)
+    ]
+    results = runner.run(trials)
+    return {
+        service_id: _calibration_from_result(
+            catalog.get(service_id), network, result
         )
-    return calibrations
+        for service_id, result in zip(ids, results)
+    }
 
 
 def format_table1(

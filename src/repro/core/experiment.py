@@ -1,15 +1,19 @@
-"""Run one trial: two services (or one, solo) through the testbed.
+"""Run one trial: N services (solo, pair, or many) through the testbed.
 
-Every experiment produces *two* numbers - the MmF share attained by each
-competing service (Section 2.2) - plus the network-level and QoE metrics
-the Beyond-Throughput sections use.  Results serialise to JSON for the
-result store and the website artifacts.
+Every experiment produces per-service numbers - the MmF share attained by
+each competing service (Section 2.2) - plus the network-level and QoE
+metrics the Beyond-Throughput sections use.  One core executor,
+:func:`run_service_specs`, handles any number of services; the historic
+``run_solo_experiment`` / ``run_pair_experiment`` / ``run_multi_experiment``
+entry points are thin wrappers over it.  Results serialise to JSON for the
+result store, the trial cache, and the website artifacts.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..browser.environment import ClientEnvironment
 from ..config import ExperimentConfig, NetworkConfig
@@ -21,6 +25,34 @@ from .testbed import Testbed
 #: Trials with more external (upstream) loss than this are discarded
 #: (Section 3.1 background-noise mitigation).
 EXTERNAL_LOSS_LIMIT = 0.0005
+
+#: Golden-ratio salt mixed into per-service seeds so trials with different
+#: service counts draw from disjoint seed ranges (no cross-count collisions).
+_SPEC_COUNT_SALT = 0x9E3779B1
+
+
+def derive_service_seed(seed: int, index: int, n: int) -> int:
+    """Per-service RNG seed for service ``index`` of an ``n``-service trial.
+
+    One documented derivation shared by every execution path:
+
+    - ``n == 1`` (solo runs) uses the trial seed unchanged, matching the
+      historic calibration behaviour.
+    - ``n == 2`` reduces to ``seed * 2 + index + 1`` - bit-compatible with
+      every pair trial ever recorded by this codebase, so existing result
+      stores and caches stay valid.
+    - ``n >= 3`` adds a large per-count salt, keeping the seed ranges of
+      different spec counts disjoint (the old ``seed*n + index + 1``
+      formula collided across counts: e.g. ``(seed=1, n=2, index=1)`` and
+      ``(seed=1, n=3, index=0)`` both produced 4).
+    """
+    if n < 1:
+        raise ValueError("need at least one service")
+    if not 0 <= index < n:
+        raise ValueError(f"index {index} out of range for {n} services")
+    if n == 1:
+        return seed
+    return seed * n + index + 1 + (n - 2) * _SPEC_COUNT_SALT
 
 
 @dataclass
@@ -82,7 +114,14 @@ class ExperimentResult:
 
     @classmethod
     def from_json(cls, payload: Dict) -> "ExperimentResult":
-        return cls(**payload)
+        """Deserialise, ignoring unknown keys.
+
+        Old stores and caches must keep loading as fields are added to
+        newer schema versions, so any key this dataclass does not know is
+        dropped rather than crashing the constructor.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 def _allocation_caps(
@@ -93,32 +132,37 @@ def _allocation_caps(
     return spec.max_throughput_bps
 
 
-def run_multi_experiment(
-    specs: "list[ServiceSpec]",
+def run_service_specs(
+    specs: Sequence[ServiceSpec],
     network: NetworkConfig,
     config: ExperimentConfig,
     seed: int = 0,
     env: Optional[ClientEnvironment] = None,
     trace_packets: bool = False,
-    cap_overrides: Optional["list[Optional[float]]"] = None,
+    cap_overrides: Optional[Sequence[Optional[float]]] = None,
 ) -> ExperimentResult:
-    """N-way contention: every service in ``specs`` competes at once.
+    """The single trial core: N services contend once through the testbed.
 
-    This is the paper's Section 9 'beyond pairwise testing' direction: a
-    service that is fair against one competitor may not stay fair against
-    several.  MmF allocations use N-way water-filling over the documented
-    caps.  Duplicate specs get ``#2``/``#3`` suffixes, like self-pairs.
+    Solo is one service, a pair is two, N-way contention (the paper's
+    Section 9 'beyond pairwise testing' direction) is many.  MmF
+    allocations use N-way water-filling over the documented caps.
+    Duplicate specs get ``#2``/``#3`` suffixes, like self-pairs.  Every
+    public ``run_*_experiment`` wrapper and every execution backend
+    funnels through here, so results are identical no matter which entry
+    point or backend ran the trial.
     """
     if len(specs) < 1:
         raise ValueError("need at least one service")
-    caps_in = cap_overrides or [None] * len(specs)
+    caps_in = list(cap_overrides) if cap_overrides is not None else [None] * len(specs)
     if len(caps_in) != len(specs):
         raise ValueError("cap_overrides must match specs")
     testbed = Testbed(network, seed=seed, trace_packets=trace_packets)
     seen: Dict[str, int] = {}
     services = []
     for index, spec in enumerate(specs):
-        service = spec.create(seed=seed * len(specs) + index + 1, env=env)
+        service = spec.create(
+            seed=derive_service_seed(seed, index, len(specs)), env=env
+        )
         count = seen.get(service.service_id, 0)
         seen[service.service_id] = count + 1
         if count:
@@ -158,6 +202,31 @@ def run_multi_experiment(
     )
 
 
+def run_multi_experiment(
+    specs: "list[ServiceSpec]",
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    seed: int = 0,
+    env: Optional[ClientEnvironment] = None,
+    trace_packets: bool = False,
+    cap_overrides: Optional["list[Optional[float]]"] = None,
+) -> ExperimentResult:
+    """N-way contention: every service in ``specs`` competes at once.
+
+    A service that is fair against one competitor may not stay fair
+    against several.  Thin wrapper over :func:`run_service_specs`.
+    """
+    return run_service_specs(
+        specs,
+        network,
+        config,
+        seed=seed,
+        env=env,
+        trace_packets=trace_packets,
+        cap_overrides=cap_overrides,
+    )
+
+
 def run_pair_experiment(
     spec_a: ServiceSpec,
     spec_b: ServiceSpec,
@@ -174,48 +243,17 @@ def run_pair_experiment(
     Self-competition (spec_a is spec_b) is supported: the second instance
     gets a distinct service id suffix so that bottleneck accounting can
     tell the two apart, exactly like running two OneDrive downloads.
+    Thin wrapper over :func:`run_service_specs`.
     """
-    testbed = Testbed(network, seed=seed, trace_packets=trace_packets)
-    service_a = spec_a.create(seed=seed * 2 + 1, env=env)
-    service_b = spec_b.create(seed=seed * 2 + 2, env=env)
-    if service_a.service_id == service_b.service_id:
-        service_b.service_id = service_b.service_id + "#2"
-    testbed.add_service(service_a)
-    testbed.add_service(service_b)
-    testbed.start_all()
-    testbed.run_window(config)
-
-    caps = [
-        _allocation_caps(spec_a, cap_override_a),
-        _allocation_caps(spec_b, cap_override_b),
-    ]
-    allocation = max_min_allocation(network.bandwidth_bps, caps)
-    ids = [service_a.service_id, service_b.service_id]
-    throughput = testbed.throughput_bps()
-
-    result = ExperimentResult(
-        contender_id=ids[0],
-        incumbent_id=ids[1],
-        bandwidth_bps=network.bandwidth_bps,
-        buffer_packets=network.queue_packets,
+    return run_service_specs(
+        [spec_a, spec_b],
+        network,
+        config,
         seed=seed,
-        duration_usec=testbed.window_usec,
-        throughput_bps=throughput,
-        mmf_allocation_bps=dict(zip(ids, allocation)),
-        mmf_share={
-            sid: mmf_share(throughput[sid], alloc)
-            for sid, alloc in zip(ids, allocation)
-        },
-        loss_rate=testbed.loss_rates(),
-        queueing_delay_usec=testbed.queueing_delays_usec(),
-        service_metrics={
-            service.service_id: service.metrics()
-            for service in testbed.services
-        },
-        utilization=testbed.utilization(),
-        external_loss_fraction=testbed.external_loss_fraction(),
+        env=env,
+        trace_packets=trace_packets,
+        cap_overrides=[cap_override_a, cap_override_b],
     )
-    return result
 
 
 def run_solo_experiment(
@@ -226,31 +264,17 @@ def run_solo_experiment(
     env: Optional[ClientEnvironment] = None,
     trace_packets: bool = False,
 ) -> ExperimentResult:
-    """One uncontended run (calibration / throttle detection)."""
-    testbed = Testbed(network, seed=seed, trace_packets=trace_packets)
-    service = spec.create(seed=seed, env=env)
-    testbed.add_service(service)
-    testbed.start_all()
-    testbed.run_window(config)
+    """One uncontended run (calibration / throttle detection).
 
-    throughput = testbed.throughput_bps()
-    sid = service.service_id
-    allocation = max_min_allocation(
-        network.bandwidth_bps, [spec.max_throughput_bps]
-    )[0]
-    return ExperimentResult(
-        contender_id=sid,
-        incumbent_id=sid,
-        bandwidth_bps=network.bandwidth_bps,
-        buffer_packets=network.queue_packets,
+    Thin wrapper over :func:`run_service_specs` with a single service;
+    the service RNG seed is the trial seed unchanged (see
+    :func:`derive_service_seed`).
+    """
+    return run_service_specs(
+        [spec],
+        network,
+        config,
         seed=seed,
-        duration_usec=testbed.window_usec,
-        throughput_bps=throughput,
-        mmf_allocation_bps={sid: allocation},
-        mmf_share={sid: mmf_share(throughput[sid], allocation)},
-        loss_rate=testbed.loss_rates(),
-        queueing_delay_usec=testbed.queueing_delays_usec(),
-        service_metrics={sid: service.metrics()},
-        utilization=testbed.utilization(),
-        external_loss_fraction=testbed.external_loss_fraction(),
+        env=env,
+        trace_packets=trace_packets,
     )

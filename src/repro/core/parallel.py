@@ -1,123 +1,27 @@
-"""Parallel experiment execution (Section 9: feasible sweep times).
+"""Backward-compatible aliases for the unified runner (Section 9 scaling).
 
-The paper notes that exploring more network settings "would require
-modifying Prudentia to run multiple tests in parallel to ensure they all
-finish within a feasible time-frame".  The live testbed cannot do that
-(one physical bottleneck), but the simulator can: every trial is an
-isolated single-process simulation, so trials parallelise perfectly
-across cores.
-
-Because the default service catalog uses closures (not picklable), worker
-processes rebuild the catalog locally and experiments are addressed by
-*service id* rather than by spec object.  Custom catalogs are supported
-via a module-level factory path (``catalog_factory="pkg.module:func"``).
+Trial execution now lives in :mod:`repro.core.runner` (declarative
+:class:`TrialSpec` + pluggable :class:`ExecutionBackend`) with
+content-addressed caching in :mod:`repro.core.cache`.  This module keeps
+the original import surface - ``ParallelRunner``, ``TrialSpec``,
+``all_pairs_trials`` - alive for existing callers; new code should import
+from ``repro.core.runner`` directly.
 """
 
 from __future__ import annotations
 
-import importlib
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
-
-from ..config import ExperimentConfig, NetworkConfig
-from .experiment import ExperimentResult, run_pair_experiment
-from .results import ResultStore
+from .runner import (  # noqa: F401  (re-exported compatibility surface)
+    ProcessPoolBackend,
+    TrialSpec,
+    all_pairs_trials,
+)
 
 
-@dataclass(frozen=True)
-class TrialSpec:
-    """One parallelisable unit of work: a seeded pair trial."""
+class ParallelRunner(ProcessPoolBackend):
+    """Historic name for :class:`~repro.core.runner.ProcessPoolBackend`.
 
-    contender_id: str
-    incumbent_id: str
-    network: NetworkConfig
-    config: ExperimentConfig
-    seed: int
-
-
-def _resolve_catalog(catalog_factory: str):
-    module_name, _, attr = catalog_factory.partition(":")
-    module = importlib.import_module(module_name)
-    return getattr(module, attr)()
-
-
-def _run_trial(args: Tuple[TrialSpec, str]) -> dict:
-    """Worker entry point: rebuild the catalog, run one trial."""
-    spec, catalog_factory = args
-    catalog = _resolve_catalog(catalog_factory)
-    result = run_pair_experiment(
-        catalog.get(spec.contender_id),
-        catalog.get(spec.incumbent_id),
-        spec.network,
-        spec.config,
-        seed=spec.seed,
-    )
-    return result.to_json()
-
-
-class ParallelRunner:
-    """Fans seeded trials out over a process pool.
-
-    Results are identical to sequential execution (each trial is an
-    isolated, seeded simulation); only the wall-clock changes.
+    Same constructor (``max_workers``, ``catalog_factory``) and the same
+    ``run`` / ``run_into_store`` behaviour; it simply inherits the unified
+    backend implementation, so results remain bit-identical to sequential
+    execution.
     """
-
-    DEFAULT_CATALOG_FACTORY = "repro.services.catalog:default_catalog"
-
-    def __init__(
-        self,
-        max_workers: Optional[int] = None,
-        catalog_factory: str = DEFAULT_CATALOG_FACTORY,
-    ) -> None:
-        self.max_workers = max_workers
-        self.catalog_factory = catalog_factory
-
-    def run(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
-        """Execute all trials; results come back in submission order."""
-        if not trials:
-            return []
-        payload = [(trial, self.catalog_factory) for trial in trials]
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            raw = list(pool.map(_run_trial, payload))
-        return [ExperimentResult.from_json(entry) for entry in raw]
-
-    def run_into_store(
-        self, trials: Sequence[TrialSpec], store: Optional[ResultStore] = None
-    ) -> ResultStore:
-        """Execute trials and collect the valid ones into a result store."""
-        store = store or ResultStore()
-        for result in self.run(trials):
-            if result.valid:
-                store.add(result)
-        return store
-
-
-def all_pairs_trials(
-    service_ids: Sequence[str],
-    network: NetworkConfig,
-    config: ExperimentConfig,
-    trials_per_pair: int = 3,
-    include_self_pairs: bool = True,
-    base_seed: int = 1,
-) -> List[TrialSpec]:
-    """Build the trial list for an all-pairs sweep (parallel-friendly)."""
-    specs: List[TrialSpec] = []
-    ids = sorted(service_ids)
-    pairs: List[Tuple[str, str]] = []
-    for i, a in enumerate(ids):
-        start = i if include_self_pairs else i + 1
-        for b in ids[start:]:
-            pairs.append((a, b))
-    for index, (a, b) in enumerate(pairs):
-        for trial in range(trials_per_pair):
-            specs.append(
-                TrialSpec(
-                    contender_id=a,
-                    incumbent_id=b,
-                    network=network,
-                    config=config,
-                    seed=base_seed + index * 101 + trial,
-                )
-            )
-    return specs

@@ -34,6 +34,19 @@ class ResultStore:
         key = (a, b, result.bandwidth_bps)
         self._results.setdefault(key, []).append(result)
 
+    def extend(
+        self, results: Iterable[ExperimentResult], valid_only: bool = False
+    ) -> None:
+        """Record many trials at once (runner/cache integration point).
+
+        With ``valid_only`` trials failing the external-loss discard rule
+        are dropped, matching the watchdog's hygiene behaviour.
+        """
+        for result in results:
+            if valid_only and not result.valid:
+                continue
+            self.add(result)
+
     def trials(
         self, a: str, b: str, bandwidth_bps: float
     ) -> List[ExperimentResult]:

@@ -1,0 +1,366 @@
+"""Pluggable trial execution: one declarative spec, many substrates.
+
+The paper notes (Section 9) that exploring more network settings "would
+require modifying Prudentia to run multiple tests in parallel to ensure
+they all finish within a feasible time-frame".  This module is that
+modification, structured the way harness-style evaluation frameworks
+(CoCo-Beholder and kin) do it: a declarative :class:`TrialSpec` names the
+work, and interchangeable :class:`ExecutionBackend` implementations decide
+*how* it runs - inline in this process, fanned out over a process pool,
+or (future work) sharded across hosts.  Every orchestration layer - the
+watchdog, calibration, sweeps, benchmarks, the CLI - submits specs
+through a backend rather than calling an experiment function directly, so
+adding a new execution substrate never adds a new execution path.
+
+Backends share a :class:`~repro.core.cache.TrialCache` hook: trials whose
+content hash is already cached are returned without simulating (the
+simulator is deterministic, so cached results are bit-identical), with
+hit/miss/wall-clock counters surfaced through :class:`RunnerStats`.
+
+Because the default service catalog uses closures (not picklable), pool
+worker processes rebuild the catalog locally and trials address services
+by *id* rather than by spec object.  Custom catalogs are supported via a
+module-level factory path (``catalog_factory="pkg.module:func"``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..browser.environment import ClientEnvironment
+from ..config import ExperimentConfig, NetworkConfig
+from ..services.catalog import ServiceCatalog
+from .cache import TrialCache
+from .experiment import ExperimentResult, run_service_specs
+from .results import ResultStore
+
+
+@dataclass(frozen=True, init=False)
+class TrialSpec:
+    """The universal unit of trial work: N services, one seeded setting.
+
+    Solo calibration is one service, a pair experiment is two, N-way
+    contention is many - the same spec type describes all of them, and
+    every backend executes them through the same core.  Constructing with
+    ``contender_id=...``/``incumbent_id=...`` keyword arguments is
+    supported for backward compatibility with the original pair-only
+    spec.
+    """
+
+    service_ids: Tuple[str, ...]
+    network: NetworkConfig
+    config: ExperimentConfig
+    seed: int
+
+    def __init__(
+        self,
+        service_ids: Optional[Sequence[str]] = None,
+        network: Optional[NetworkConfig] = None,
+        config: Optional[ExperimentConfig] = None,
+        seed: int = 0,
+        *,
+        contender_id: Optional[str] = None,
+        incumbent_id: Optional[str] = None,
+    ) -> None:
+        """Build a spec from ``service_ids`` or legacy pair keywords."""
+        if service_ids is None:
+            if contender_id is None or incumbent_id is None:
+                raise TypeError(
+                    "need service_ids or contender_id+incumbent_id"
+                )
+            service_ids = (contender_id, incumbent_id)
+        elif contender_id is not None or incumbent_id is not None:
+            raise TypeError(
+                "pass service_ids or contender/incumbent ids, not both"
+            )
+        if network is None or config is None:
+            raise TypeError("network and config are required")
+        ids = tuple(service_ids)
+        if not ids:
+            raise ValueError("need at least one service id")
+        object.__setattr__(self, "service_ids", ids)
+        object.__setattr__(self, "network", network)
+        object.__setattr__(self, "config", config)
+        object.__setattr__(self, "seed", seed)
+
+    @classmethod
+    def solo(
+        cls,
+        service_id: str,
+        network: NetworkConfig,
+        config: ExperimentConfig,
+        seed: int = 0,
+    ) -> "TrialSpec":
+        """A one-service (calibration-style) trial."""
+        return cls((service_id,), network, config, seed)
+
+    @classmethod
+    def pair(
+        cls,
+        contender_id: str,
+        incumbent_id: str,
+        network: NetworkConfig,
+        config: ExperimentConfig,
+        seed: int = 0,
+    ) -> "TrialSpec":
+        """A two-service (paper-style pairwise) trial."""
+        return cls((contender_id, incumbent_id), network, config, seed)
+
+    @property
+    def contender_id(self) -> str:
+        """First service (the paper's contender slot)."""
+        return self.service_ids[0]
+
+    @property
+    def incumbent_id(self) -> str:
+        """Last service (the paper's incumbent slot)."""
+        return self.service_ids[-1]
+
+    @property
+    def pair_key(self) -> Tuple[str, str]:
+        """(contender, incumbent) tuple, the scheduler's pair key."""
+        return (self.service_ids[0], self.service_ids[-1])
+
+
+def run_trial(
+    spec: TrialSpec,
+    catalog: Optional[ServiceCatalog] = None,
+    env: Optional[ClientEnvironment] = None,
+    trace_packets: bool = False,
+) -> ExperimentResult:
+    """Execute one :class:`TrialSpec` - the single trial entry point.
+
+    Resolves service ids through the catalog (default Table-1 catalog when
+    omitted) and runs the N-way core; per-service seeds follow
+    :func:`~repro.core.experiment.derive_service_seed`, so pair trials are
+    bit-identical to the historic ``run_pair_experiment`` path.
+    """
+    if catalog is None:
+        from ..services.catalog import default_catalog
+
+        catalog = default_catalog()
+    specs = [catalog.get(sid) for sid in spec.service_ids]
+    return run_service_specs(
+        specs,
+        spec.network,
+        spec.config,
+        seed=spec.seed,
+        env=env,
+        trace_packets=trace_packets,
+    )
+
+
+@dataclass
+class RunnerStats:
+    """Execution counters surfaced by every backend.
+
+    ``trials_run`` counts actual simulations; cache hits skip simulation
+    entirely, so ``trials_run + cache_hits`` equals the number of trials
+    requested.  ``wall_clock_sec`` measures only time spent simulating
+    (cache lookups are not included).
+    """
+
+    trials_run: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_clock_sec: float = 0.0
+
+    @property
+    def trials_total(self) -> int:
+        """Trials requested: simulated plus served from cache."""
+        return self.trials_run + self.cache_hits
+
+    def merged_with(self, other: "RunnerStats") -> "RunnerStats":
+        """Element-wise sum of two counter sets."""
+        return RunnerStats(
+            trials_run=self.trials_run + other.trials_run,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            wall_clock_sec=self.wall_clock_sec + other.wall_clock_sec,
+        )
+
+
+class ExecutionBackend:
+    """Common submit/drain interface every execution substrate implements.
+
+    Usage is two-phase (``submit`` queues specs, ``drain`` executes the
+    queue and returns results in submission order) or one-shot (``run``).
+    The base class owns cache consultation and statistics; subclasses
+    implement :meth:`_execute` for the trials that missed the cache.
+    """
+
+    def __init__(self, cache: Optional[TrialCache] = None) -> None:
+        self.cache = cache
+        self.stats = RunnerStats()
+        self._pending: List[TrialSpec] = []
+
+    # -- scheduling ----------------------------------------------------
+
+    def submit(self, trials: Sequence[TrialSpec]) -> None:
+        """Queue trials for the next :meth:`drain`."""
+        self._pending.extend(trials)
+
+    def drain(self) -> List[ExperimentResult]:
+        """Execute everything submitted; results in submission order."""
+        trials, self._pending = self._pending, []
+        if not trials:
+            return []
+        results: List[Optional[ExperimentResult]] = [None] * len(trials)
+        misses: List[Tuple[int, TrialSpec]] = []
+        env = self._cache_env()
+        for index, spec in enumerate(trials):
+            cached = (
+                self.cache.get(spec, env=env)
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[index] = cached
+            else:
+                if self.cache is not None:
+                    self.stats.cache_misses += 1
+                misses.append((index, spec))
+        if misses:
+            start = time.perf_counter()
+            fresh = self._execute([spec for _i, spec in misses])
+            self.stats.wall_clock_sec += time.perf_counter() - start
+            self.stats.trials_run += len(fresh)
+            for (index, spec), result in zip(misses, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(spec, result, env=env)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def run(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
+        """Submit and drain in one call."""
+        self.submit(trials)
+        return self.drain()
+
+    def run_into_store(
+        self,
+        trials: Sequence[TrialSpec],
+        store: Optional[ResultStore] = None,
+    ) -> ResultStore:
+        """Execute trials and collect the valid ones into a result store."""
+        store = store or ResultStore()
+        store.extend(self.run(trials), valid_only=True)
+        return store
+
+    # -- substrate hooks -----------------------------------------------
+
+    def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
+        """Simulate the given trials; subclasses supply the substrate."""
+        raise NotImplementedError
+
+    def _cache_env(self) -> Optional[ClientEnvironment]:
+        """Client environment folded into cache keys (None = faithful)."""
+        return None
+
+
+class InlineBackend(ExecutionBackend):
+    """Sequential in-process execution (the default substrate).
+
+    Carries an explicit catalog and client environment, so it supports
+    custom/ephemeral catalogs and Section-3.3 environment studies that
+    the process pool (which rebuilds catalogs by name) cannot.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[ServiceCatalog] = None,
+        env: Optional[ClientEnvironment] = None,
+        cache: Optional[TrialCache] = None,
+    ) -> None:
+        super().__init__(cache=cache)
+        self.catalog = catalog
+        self.env = env
+
+    def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
+        """Run each trial sequentially in this process."""
+        return [
+            run_trial(spec, catalog=self.catalog, env=self.env)
+            for spec in trials
+        ]
+
+    def _cache_env(self) -> Optional[ClientEnvironment]:
+        """Cache keys include this backend's client environment."""
+        return self.env
+
+
+def _resolve_catalog(catalog_factory: str) -> ServiceCatalog:
+    """Import and call a ``pkg.module:func`` catalog factory."""
+    module_name, _, attr = catalog_factory.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)()
+
+
+def _run_trial_json(args: Tuple[TrialSpec, str]) -> Dict:
+    """Pool-worker entry point: rebuild the catalog, run one trial."""
+    spec, catalog_factory = args
+    catalog = _resolve_catalog(catalog_factory)
+    return run_trial(spec, catalog=catalog).to_json()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fans seeded trials out over a process pool.
+
+    Results are identical to :class:`InlineBackend` (each trial is an
+    isolated, seeded simulation); only the wall-clock changes.  Worker
+    processes rebuild the catalog from ``catalog_factory`` and run with
+    the default (faithful-testbed) client environment.
+    """
+
+    DEFAULT_CATALOG_FACTORY = "repro.services.catalog:default_catalog"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        catalog_factory: str = DEFAULT_CATALOG_FACTORY,
+        cache: Optional[TrialCache] = None,
+    ) -> None:
+        super().__init__(cache=cache)
+        self.max_workers = max_workers
+        self.catalog_factory = catalog_factory
+
+    def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
+        """Map trials over worker processes, preserving order."""
+        payload = [(spec, self.catalog_factory) for spec in trials]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            raw = list(pool.map(_run_trial_json, payload))
+        return [ExperimentResult.from_json(entry) for entry in raw]
+
+
+def all_pairs_trials(
+    service_ids: Sequence[str],
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    trials_per_pair: int = 3,
+    include_self_pairs: bool = True,
+    base_seed: int = 1,
+) -> List[TrialSpec]:
+    """Build the trial list for an all-pairs sweep (backend-friendly)."""
+    specs: List[TrialSpec] = []
+    ids = sorted(service_ids)
+    pairs: List[Tuple[str, str]] = []
+    for i, a in enumerate(ids):
+        start = i if include_self_pairs else i + 1
+        for b in ids[start:]:
+            pairs.append((a, b))
+    for index, (a, b) in enumerate(pairs):
+        for trial in range(trials_per_pair):
+            specs.append(
+                TrialSpec.pair(
+                    a,
+                    b,
+                    network,
+                    config,
+                    seed=base_seed + index * 101 + trial,
+                )
+            )
+    return specs

@@ -12,9 +12,13 @@ from __future__ import annotations
 import itertools
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from .policy import PolicyDecision, TrialPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import ExperimentConfig, NetworkConfig
+    from .runner import TrialSpec
 
 PairKey = Tuple[str, str]
 
@@ -83,6 +87,43 @@ class RoundRobinScheduler:
                 if state.trials_queued > 0:
                     seed = self._seed_for(pair, state.trials_done)
                     yield pair, seed
+
+    def next_batch(
+        self, network: "NetworkConfig", config: "ExperimentConfig"
+    ) -> List["TrialSpec"]:
+        """The currently queued trials as executable :class:`TrialSpec`s.
+
+        This is the public batch API every execution backend consumes:
+        one call returns every queued trial in round-robin order (trial k
+        of every pair before trial k+1 of any pair - Section 3.4), with
+        the same per-trial seeds :meth:`work_items` would have produced,
+        so sequential and parallel cycles share one code path and one
+        result stream.  Feed each trial's outcome back through
+        :meth:`record_result`; convergence decisions may then queue
+        another batch, so callers loop ``while scheduler.pending()``.
+        """
+        from .runner import TrialSpec
+
+        batch: List[TrialSpec] = []
+        max_queued = max(
+            (state.trials_queued for state in self.states.values()),
+            default=0,
+        )
+        for offset in range(max_queued):
+            for pair, state in self.states.items():
+                if offset < state.trials_queued:
+                    batch.append(
+                        TrialSpec.pair(
+                            pair[0],
+                            pair[1],
+                            network,
+                            config,
+                            seed=self._seed_for(
+                                pair, state.trials_done + offset
+                            ),
+                        )
+                    )
+        return batch
 
     def _seed_for(self, pair: PairKey, trial_index: int) -> int:
         digest = zlib.crc32("|".join(pair).encode("utf-8")) & 0xFFFF

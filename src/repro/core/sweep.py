@@ -14,8 +14,9 @@ from typing import List, Optional, Sequence, Tuple
 
 from .. import units
 from ..config import ExperimentConfig, NetworkConfig
-from ..services.catalog import ServiceSpec
-from .experiment import ExperimentResult, run_pair_experiment
+from ..services.catalog import ServiceCatalog, ServiceSpec
+from .experiment import ExperimentResult
+from .runner import ExecutionBackend, InlineBackend, TrialSpec
 from .stats import median
 
 
@@ -53,6 +54,26 @@ def _aggregate(
     )
 
 
+def _pair_backend(
+    spec_a: ServiceSpec,
+    spec_b: ServiceSpec,
+    backend: Optional[ExecutionBackend],
+) -> ExecutionBackend:
+    """The backend a sweep runs through.
+
+    When none is supplied, an inline backend over an ephemeral two-entry
+    catalog is built, so sweeps work with arbitrary (even unregistered)
+    service specs while still flowing through the unified runner.
+    """
+    if backend is not None:
+        return backend
+    catalog = ServiceCatalog()
+    catalog.register(spec_a)
+    if spec_b.service_id != spec_a.service_id:
+        catalog.register(spec_b)
+    return InlineBackend(catalog=catalog)
+
+
 def _run_points(
     spec_a: ServiceSpec,
     spec_b: ServiceSpec,
@@ -60,15 +81,24 @@ def _run_points(
     config: ExperimentConfig,
     trials: int,
     base_seed: int,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
-    points = []
-    for parameter, network in networks:
-        results = [
-            run_pair_experiment(
-                spec_a, spec_b, network, config, seed=base_seed + trial
+    runner = _pair_backend(spec_a, spec_b, backend)
+    for _parameter, network in networks:
+        runner.submit(
+            TrialSpec.pair(
+                spec_a.service_id,
+                spec_b.service_id,
+                network,
+                config,
+                seed=base_seed + trial,
             )
             for trial in range(trials)
-        ]
+        )
+    all_results = runner.drain()
+    points = []
+    for index, (parameter, _network) in enumerate(networks):
+        results = all_results[index * trials:(index + 1) * trials]
         share_a, share_b, thr_a, thr_b, util = _aggregate(
             results, spec_a.service_id, spec_b.service_id
         )
@@ -86,13 +116,16 @@ def bandwidth_sweep(
     base_network: Optional[NetworkConfig] = None,
     trials: int = 3,
     base_seed: int = 1,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     """Fairness vs bottleneck bandwidth (Fig 7 / Observation 12)."""
     base = base_network or NetworkConfig(bandwidth_bps=units.mbps(8))
     networks = [
         (bw, base.with_bandwidth(units.mbps(bw))) for bw in bandwidths_mbps
     ]
-    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+    return _run_points(
+        spec_a, spec_b, networks, config, trials, base_seed, backend
+    )
 
 
 def buffer_sweep(
@@ -103,13 +136,16 @@ def buffer_sweep(
     config: ExperimentConfig,
     trials: int = 3,
     base_seed: int = 1,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     """Fairness vs buffer depth (Observation 11)."""
     networks = [
         (multiple, network.with_buffer_multiple(multiple))
         for multiple in bdp_multiples
     ]
-    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+    return _run_points(
+        spec_a, spec_b, networks, config, trials, base_seed, backend
+    )
 
 
 def rtt_sweep(
@@ -120,13 +156,16 @@ def rtt_sweep(
     config: ExperimentConfig,
     trials: int = 3,
     base_seed: int = 1,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     """Fairness vs normalised RTT (Section 9: network settings)."""
     networks = [
         (rtt, replace(network, base_rtt_usec=units.msec(rtt)))
         for rtt in rtts_ms
     ]
-    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+    return _run_points(
+        spec_a, spec_b, networks, config, trials, base_seed, backend
+    )
 
 
 def background_loss_sweep(
@@ -137,6 +176,7 @@ def background_loss_sweep(
     config: ExperimentConfig,
     trials: int = 3,
     base_seed: int = 1,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     """Fairness vs random upstream loss (Section 9: background loss).
 
@@ -148,7 +188,9 @@ def background_loss_sweep(
         (rate, replace(network, external_loss_rate=rate))
         for rate in loss_rates
     ]
-    return _run_points(spec_a, spec_b, networks, config, trials, base_seed)
+    return _run_points(
+        spec_a, spec_b, networks, config, trials, base_seed, backend
+    )
 
 
 def render_sweep(

@@ -10,7 +10,8 @@ has since 2022.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..browser.environment import ClientEnvironment
 from ..config import (
@@ -22,11 +23,17 @@ from ..config import (
     trial_policy_for,
 )
 from ..services.catalog import ServiceCatalog, default_catalog
+from .cache import TrialCache
 from .calibration import SoloCalibration, calibrate_catalog, format_table1
-from .experiment import run_pair_experiment
 from .policy import TrialPolicy
 from .report import FairnessReport
 from .results import ResultStore
+from .runner import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    RunnerStats,
+)
 from .scheduler import RoundRobinScheduler
 
 
@@ -43,6 +50,9 @@ class Prudentia:
         policy_overrides: per-bandwidth trial-policy configs; defaults to
             the paper's min-10/max-30 with CI thresholds per setting.
         env: client rendering environment (Section 3.3 fidelity).
+        cache: content-addressed trial cache; repeated cycles, re-runs and
+            re-queued batches skip trials already simulated under the same
+            inputs.  Pass a :class:`TrialCache` or a cache directory path.
     """
 
     def __init__(
@@ -53,6 +63,7 @@ class Prudentia:
         policy_overrides: Optional[Dict[float, TrialPolicyConfig]] = None,
         env: Optional[ClientEnvironment] = None,
         base_seed: int = 0,
+        cache: Optional[Union[TrialCache, Path, str]] = None,
     ) -> None:
         self.catalog = catalog or default_catalog()
         self.networks = list(
@@ -64,9 +75,13 @@ class Prudentia:
         self.policy_overrides = policy_overrides or {}
         self.env = env or ClientEnvironment.faithful_testbed()
         self.base_seed = base_seed
+        if cache is not None and not isinstance(cache, TrialCache):
+            cache = TrialCache(Path(cache))
+        self.cache = cache
         self.store = ResultStore()
         self.calibrations: Dict[float, Dict[str, SoloCalibration]] = {}
         self.cycles_completed = 0
+        self.last_cycle_stats: Optional[RunnerStats] = None
 
     # ------------------------------------------------------------------
     # Calibration (Table 1)
@@ -85,6 +100,7 @@ class Prudentia:
             self.experiment_config,
             service_ids=service_ids,
             seed=self.base_seed,
+            backend=InlineBackend(catalog=self.catalog, cache=self.cache),
         )
         self.calibrations[net.bandwidth_bps] = calibrations
         return calibrations
@@ -106,22 +122,42 @@ class Prudentia:
         config = override if override is not None else trial_policy_for(network)
         return TrialPolicy(config)
 
+    def _backend(
+        self, parallel_workers: Optional[int]
+    ) -> ExecutionBackend:
+        """The execution backend one cycle dispatches through."""
+        if parallel_workers:
+            return ProcessPoolBackend(
+                max_workers=parallel_workers, cache=self.cache
+            )
+        return InlineBackend(
+            catalog=self.catalog, env=self.env, cache=self.cache
+        )
+
     def run_cycle(
         self,
         service_ids: Optional[List[str]] = None,
         include_self_pairs: bool = True,
         networks: Optional[Sequence[NetworkConfig]] = None,
         parallel_workers: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> ResultStore:
         """One full all-pairs sweep over every configured setting.
 
-        ``parallel_workers`` fans trial batches out over a process pool
-        (the Section-9 scaling direction).  The trial policy and its
-        re-queueing behaviour are unchanged - each policy batch completes
-        before the next is scheduled.  Parallel mode requires the default
-        catalog (worker processes rebuild it by name) and uses the
-        faithful client environment.
+        Sequential and parallel execution share one code path: the
+        scheduler emits declarative trial batches (``next_batch``), an
+        :class:`ExecutionBackend` runs them, and outcomes feed the trial
+        policy.  ``parallel_workers`` selects a process-pool backend (the
+        Section-9 scaling direction) - the policy and its re-queueing
+        behaviour are unchanged since each policy batch completes before
+        the next is scheduled.  Pool mode requires the default catalog
+        (worker processes rebuild it by name) and uses the faithful
+        client environment.  An explicit ``backend`` overrides both.
+        Execution counters for the cycle (trials simulated, cache
+        hits/misses, simulation wall-clock) land in
+        ``self.last_cycle_stats``.
         """
+        runner = backend or self._backend(parallel_workers)
         ids = service_ids or self.catalog.heatmap_ids()
         for network in networks or self.networks:
             scheduler = RoundRobinScheduler(
@@ -130,58 +166,17 @@ class Prudentia:
                 include_self_pairs=include_self_pairs,
                 base_seed=self.base_seed + self.cycles_completed,
             )
-            if parallel_workers:
-                self._drain_parallel(scheduler, network, parallel_workers)
-            else:
-                for (pair, seed) in scheduler.work_items():
-                    contender_id, incumbent_id = pair
-                    result = run_pair_experiment(
-                        self.catalog.get(contender_id),
-                        self.catalog.get(incumbent_id),
-                        network,
-                        self.experiment_config,
-                        seed=seed,
-                        env=self.env,
-                    )
+            while scheduler.pending():
+                batch = scheduler.next_batch(network, self.experiment_config)
+                for spec, result in zip(batch, runner.run(batch)):
                     if result.valid:
                         self.store.add(result)
-                    scheduler.record_result(pair, result.throughput_bps)
-        self.cycles_completed += 1
-        return self.store
-
-    def _drain_parallel(
-        self,
-        scheduler: RoundRobinScheduler,
-        network: NetworkConfig,
-        workers: int,
-    ) -> None:
-        """Run the scheduler's queued batches through a process pool."""
-        from .parallel import ParallelRunner, TrialSpec
-
-        runner = ParallelRunner(max_workers=workers)
-        while scheduler.pending():
-            batch = []
-            for pair, state in scheduler.states.items():
-                for offset in range(state.trials_queued):
-                    batch.append(
-                        (
-                            pair,
-                            TrialSpec(
-                                contender_id=pair[0],
-                                incumbent_id=pair[1],
-                                network=network,
-                                config=self.experiment_config,
-                                seed=scheduler._seed_for(
-                                    pair, state.trials_done + offset
-                                ),
-                            ),
-                        )
+                    scheduler.record_result(
+                        spec.pair_key, result.throughput_bps
                     )
-            results = runner.run([spec for _pair, spec in batch])
-            for (pair, _spec), result in zip(batch, results):
-                if result.valid:
-                    self.store.add(result)
-                scheduler.record_result(pair, result.throughput_bps)
+        self.cycles_completed += 1
+        self.last_cycle_stats = runner.stats
+        return self.store
 
     def run_continuously(
         self,

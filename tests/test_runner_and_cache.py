@@ -1,0 +1,280 @@
+"""The unified trial runner: backends, caching, seed derivation."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.config import (
+    ExperimentConfig,
+    TrialPolicyConfig,
+    highly_constrained,
+)
+from repro.core.cache import TrialCache, trial_cache_key
+from repro.core.experiment import (
+    ExperimentResult,
+    derive_service_seed,
+    run_pair_experiment,
+    run_solo_experiment,
+)
+from repro.core.policy import TrialPolicy
+from repro.core.runner import (
+    InlineBackend,
+    ProcessPoolBackend,
+    TrialSpec,
+    run_trial,
+)
+from repro.core.scheduler import RoundRobinScheduler
+from repro.core.watchdog import Prudentia
+from repro.services.catalog import default_catalog
+
+CATALOG = default_catalog()
+FAST = ExperimentConfig().scaled(15)
+NET = highly_constrained()
+
+FIXED_POLICY = TrialPolicyConfig(
+    min_trials=2, max_trials=2, batch_size=2, ci_halfwidth_bps=units.mbps(100)
+)
+
+
+def pair_spec(a="iperf_cubic", b="iperf_reno", seed=1):
+    return TrialSpec.pair(a, b, NET, FAST, seed=seed)
+
+
+class TestTrialSpec:
+    def test_solo_pair_multi_forms(self):
+        solo = TrialSpec.solo("iperf_bbr", NET, FAST, seed=3)
+        assert solo.service_ids == ("iperf_bbr",)
+        assert solo.contender_id == solo.incumbent_id == "iperf_bbr"
+        many = TrialSpec(("a", "b", "c"), NET, FAST, seed=1)
+        assert many.pair_key == ("a", "c")
+
+    def test_legacy_pair_kwargs(self):
+        spec = TrialSpec(
+            contender_id="a", incumbent_id="b", network=NET, config=FAST,
+            seed=2,
+        )
+        assert spec.service_ids == ("a", "b")
+        assert spec == TrialSpec.pair("a", "b", NET, FAST, seed=2)
+
+    def test_rejects_empty_and_conflicting(self):
+        with pytest.raises(ValueError):
+            TrialSpec((), NET, FAST)
+        with pytest.raises(TypeError):
+            TrialSpec(("a",), NET, FAST, contender_id="a", incumbent_id="b")
+        with pytest.raises(TypeError):
+            TrialSpec(("a",))
+
+    def test_hashable(self):
+        assert len({pair_spec(), pair_spec(), pair_spec(seed=2)}) == 2
+
+
+class TestSeedDerivation:
+    def test_solo_uses_trial_seed(self):
+        assert derive_service_seed(41, 0, 1) == 41
+
+    def test_pair_matches_historic_formula(self):
+        """Pair trials stay bit-compatible with every result recorded
+        before the unification (seed*2 + index + 1)."""
+        for seed in (0, 1, 7, 1234):
+            assert derive_service_seed(seed, 0, 2) == seed * 2 + 1
+            assert derive_service_seed(seed, 1, 2) == seed * 2 + 2
+
+    def test_no_collisions_across_spec_counts(self):
+        """The old seed*n+index+1 collided across counts (the ISSUE's
+        (1,2,1) vs (1,3,0) example); the salted derivation does not."""
+        seen = {}
+        for n in range(2, 6):
+            for seed in range(50):
+                for index in range(n):
+                    value = derive_service_seed(seed, index, n)
+                    assert value not in seen, (seen[value], (seed, index, n))
+                    seen[value] = (seed, index, n)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            derive_service_seed(1, 2, 2)
+        with pytest.raises(ValueError):
+            derive_service_seed(1, 0, 0)
+
+
+class TestRunTrial:
+    def test_pair_spec_matches_wrapper(self):
+        """run_trial and the run_pair_experiment wrapper are one path."""
+        via_spec = run_trial(pair_spec(seed=9), catalog=CATALOG)
+        direct = run_pair_experiment(
+            CATALOG.get("iperf_cubic"),
+            CATALOG.get("iperf_reno"),
+            NET,
+            FAST,
+            seed=9,
+        )
+        assert via_spec.to_json() == direct.to_json()
+
+    def test_solo_spec_matches_wrapper(self):
+        via_spec = run_trial(
+            TrialSpec.solo("iperf_bbr", NET, FAST, seed=4), catalog=CATALOG
+        )
+        direct = run_solo_experiment(
+            CATALOG.get("iperf_bbr"), NET, FAST, seed=4
+        )
+        assert via_spec.to_json() == direct.to_json()
+
+
+class TestBackendEquivalence:
+    def test_inline_and_pool_bit_identical(self):
+        """The same TrialSpec list produces bit-identical ExperimentResult
+        JSON on both substrates - parallelism is pure wall-clock."""
+        trials = [
+            pair_spec(seed=5),
+            pair_spec("iperf_bbr", "iperf_reno", seed=6),
+            TrialSpec.solo("iperf_cubic", NET, FAST, seed=7),
+        ]
+        inline = InlineBackend(catalog=CATALOG).run(trials)
+        pooled = ProcessPoolBackend(max_workers=2).run(trials)
+        assert [r.to_json() for r in inline] == [r.to_json() for r in pooled]
+
+    def test_submit_drain_preserves_order(self):
+        backend = InlineBackend(catalog=CATALOG)
+        backend.submit([pair_spec(seed=s) for s in (3, 1, 2)])
+        results = backend.drain()
+        assert [r.seed for r in results] == [3, 1, 2]
+        assert backend.stats.trials_run == 3
+        assert backend.stats.wall_clock_sec > 0
+
+    def test_run_into_store_filters_valid(self):
+        backend = InlineBackend(catalog=CATALOG)
+        store = backend.run_into_store([pair_spec(seed=1)])
+        assert len(store) == 1
+
+
+class TestTrialCache:
+    def test_memory_cache_hit_returns_equal_result(self):
+        cache = TrialCache()
+        backend = InlineBackend(catalog=CATALOG, cache=cache)
+        first = backend.run([pair_spec(seed=2)])[0]
+        second = backend.run([pair_spec(seed=2)])[0]
+        assert backend.stats.trials_run == 1
+        assert backend.stats.cache_hits == 1
+        assert first.to_json() == second.to_json()
+
+    def test_directory_cache_survives_processes(self, tmp_path):
+        cold = InlineBackend(catalog=CATALOG, cache=TrialCache(tmp_path))
+        result = cold.run([pair_spec(seed=8)])[0]
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        warm = InlineBackend(catalog=CATALOG, cache=TrialCache(tmp_path))
+        hit = warm.run([pair_spec(seed=8)])[0]
+        assert warm.stats.trials_run == 0
+        assert warm.stats.cache_hits == 1
+        assert hit.to_json() == result.to_json()
+
+    def test_key_sensitivity(self):
+        base = pair_spec(seed=1)
+        assert trial_cache_key(base) == trial_cache_key(pair_spec(seed=1))
+        assert trial_cache_key(base) != trial_cache_key(pair_spec(seed=2))
+        other_net = NET.with_bandwidth(units.mbps(50))
+        assert trial_cache_key(base) != trial_cache_key(
+            TrialSpec.pair("iperf_cubic", "iperf_reno", other_net, FAST, 1)
+        )
+
+    def test_clear_and_len(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        backend = InlineBackend(catalog=CATALOG, cache=cache)
+        backend.run([pair_spec(seed=1)])
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestSchedulerBatches:
+    def test_next_batch_matches_work_items_seeds(self):
+        """The public batch API yields exactly the seeds and round-robin
+        order the sequential iterator would have produced."""
+        policy = TrialPolicy(
+            TrialPolicyConfig(
+                min_trials=3, max_trials=3, batch_size=3,
+                ci_halfwidth_bps=units.mbps(100),
+            )
+        )
+        batch_sched = RoundRobinScheduler(
+            ["a", "b"], policy, include_self_pairs=False, base_seed=2
+        )
+        batch = batch_sched.next_batch(NET, FAST)
+        seq_sched = RoundRobinScheduler(
+            ["a", "b"], policy, include_self_pairs=False, base_seed=2
+        )
+        sequential = []
+        for pair, seed in seq_sched.work_items():
+            sequential.append((pair, seed))
+            seq_sched.record_result(pair, {"a": 1e6, "b": 1e6})
+        assert [(s.pair_key, s.seed) for s in batch] == sequential
+
+
+class TestWatchdogCaching:
+    def _watchdog(self, cache):
+        return Prudentia(
+            networks=[NET],
+            experiment_config=FAST,
+            policy_overrides={NET.bandwidth_bps: FIXED_POLICY},
+            base_seed=11,
+            cache=cache,
+        )
+
+    def test_repeated_cycle_runs_zero_simulations(self):
+        """Acceptance: a repeated all-pairs cycle over the same seeds
+        re-runs nothing - cache hits == trial count, simulations == 0."""
+        cache = TrialCache()
+        ids = ["iperf_cubic", "iperf_reno"]
+        first = self._watchdog(cache)
+        first.run_cycle(service_ids=ids)
+        trials_first = first.last_cycle_stats.trials_run
+        assert trials_first > 0
+        assert first.last_cycle_stats.cache_hits == 0
+
+        second = self._watchdog(cache)
+        second.run_cycle(service_ids=ids)
+        stats = second.last_cycle_stats
+        assert stats.trials_run == 0
+        assert stats.cache_hits == stats.trials_total == trials_first
+        # The cached cycle reproduces the measured shares exactly.
+        assert second.store.shares(
+            "iperf_reno", "iperf_cubic", NET.bandwidth_bps
+        ) == first.store.shares(
+            "iperf_reno", "iperf_cubic", NET.bandwidth_bps
+        )
+
+    def test_cycle_stats_surfaced_without_cache(self):
+        dog = self._watchdog(cache=None)
+        dog.run_cycle(service_ids=["iperf_cubic", "iperf_reno"])
+        assert dog.last_cycle_stats.trials_run > 0
+        assert dog.last_cycle_stats.cache_hits == 0
+
+    def test_cache_dir_accepted(self, tmp_path):
+        dog = Prudentia(cache=tmp_path)
+        assert isinstance(dog.cache, TrialCache)
+        assert dog.cache.cache_dir == tmp_path
+
+
+class TestForwardCompatibleSerialisation:
+    def test_from_json_ignores_unknown_keys(self):
+        """Old stores must load payloads written by newer schemas."""
+        result = run_pair_experiment(
+            CATALOG.get("iperf_cubic"),
+            CATALOG.get("iperf_reno"),
+            NET,
+            FAST,
+            seed=1,
+        )
+        payload = result.to_json()
+        payload["added_in_a_future_schema"] = {"nested": True}
+        restored = ExperimentResult.from_json(payload)
+        assert restored.to_json() == result.to_json()
+
+    def test_round_trip_through_json_text(self):
+        result = run_solo_experiment(
+            CATALOG.get("iperf_bbr"), NET, FAST, seed=2
+        )
+        payload = json.loads(json.dumps(result.to_json()))
+        payload["extra"] = 1
+        assert ExperimentResult.from_json(payload).valid == result.valid
