@@ -9,6 +9,8 @@ watchdog is driven:
 - ``cycle``     - run an all-pairs watchdog cycle and print the heatmap
 - ``classify``  - run the CCA classifier on a named controller
 - ``sweep``     - fairness vs bandwidth/buffer/RTT for one pair
+- ``fleet``     - sharded multi-host execution: plan / run-shard /
+  merge / report (see :mod:`repro.fleet.cli`)
 """
 
 from __future__ import annotations
@@ -33,13 +35,14 @@ from .config import (
 from .core.cache import TrialCache
 from .core.experiment import run_solo_experiment
 from .core.runner import (
+    BACKEND_KINDS,
     ExecutionBackend,
-    InlineBackend,
-    ProcessPoolBackend,
     TrialSpec,
+    build_backend,
 )
 from .core.sweep import bandwidth_sweep, buffer_sweep, render_sweep, rtt_sweep
 from .core.watchdog import Prudentia
+from .fleet.cli import register as register_fleet
 from .services.catalog import default_catalog
 
 CCA_FACTORIES = {
@@ -71,10 +74,12 @@ def _cache(args) -> "TrialCache | None":
 
 def _backend(args) -> ExecutionBackend:
     """The execution backend CLI commands dispatch trials through."""
-    cache = _cache(args)
-    if getattr(args, "workers", None):
-        return ProcessPoolBackend(max_workers=args.workers, cache=cache)
-    return InlineBackend(catalog=default_catalog(), cache=cache)
+    return build_backend(
+        kind=getattr(args, "backend", None),
+        workers=getattr(args, "workers", None),
+        cache=_cache(args),
+        catalog=default_catalog(),
+    )
 
 
 def _print_runner_stats(args, backend: ExecutionBackend) -> None:
@@ -94,6 +99,12 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
         help="fan trials out over N worker processes (default: inline)",
+    )
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_KINDS), default=None,
+        help="execution substrate (default: process when --workers is "
+             "set, else inline; async interleaves trials in-process for "
+             "platforms without fork/process pools)",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -209,7 +220,18 @@ def cmd_cycle(args) -> int:
         cache=_cache(args),
     )
     ids = args.services or watchdog.catalog.heatmap_ids()
-    watchdog.run_cycle(service_ids=ids, parallel_workers=args.workers)
+    backend = None
+    if getattr(args, "backend", None):
+        backend = build_backend(
+            kind=args.backend,
+            workers=args.workers,
+            cache=watchdog.cache,
+            catalog=watchdog.catalog,
+            env=watchdog.env,
+        )
+    watchdog.run_cycle(
+        service_ids=ids, parallel_workers=args.workers, backend=backend
+    )
     stats = watchdog.last_cycle_stats
     if args.cache_dir and stats is not None:
         print(
@@ -219,6 +241,9 @@ def cmd_cycle(args) -> int:
             file=sys.stderr,
         )
     report = watchdog.report(_network(args), service_ids=ids)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=1))
+        return 0
     print(report.render_heatmap())
     stats = report.losing_service_stats()
     if stats:
@@ -328,6 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_runner_args(p)
     p.set_defaults(func=cmd_sweep)
+
+    register_fleet(sub)
 
     return parser
 

@@ -35,18 +35,20 @@ from .sweep import (
 )
 from .cache import TrialCache, trial_cache_key
 from .runner import (
+    AsyncioBackend,
     ExecutionBackend,
     InlineBackend,
     ProcessPoolBackend,
     RunnerStats,
     TrialSpec,
     all_pairs_trials,
+    build_backend,
     run_trial,
 )
 from .experiment import derive_service_seed, run_service_specs
 from .parallel import ParallelRunner
 from .policy import TrialPolicy
-from .scheduler import RoundRobinScheduler, PairState
+from .scheduler import RoundRobinScheduler, PairState, fixed_trial_scheduler
 from .artifacts import ArtifactPublisher, PublishedExperiment
 from .calibration import SoloCalibration, calibrate_catalog
 from .results import ResultStore
@@ -81,16 +83,19 @@ __all__ = [
     "all_pairs_trials",
     "TrialCache",
     "trial_cache_key",
+    "AsyncioBackend",
     "ExecutionBackend",
     "InlineBackend",
     "ProcessPoolBackend",
     "RunnerStats",
+    "build_backend",
     "run_trial",
     "run_service_specs",
     "derive_service_seed",
     "TrialPolicy",
     "RoundRobinScheduler",
     "PairState",
+    "fixed_trial_scheduler",
     "ArtifactPublisher",
     "PublishedExperiment",
     "SoloCalibration",

@@ -14,6 +14,14 @@ trial inputs plus a schema version, so a cache survives process restarts
 schema changes.  Values are ``ExperimentResult.to_json()`` payloads - the
 same serialisation :class:`~repro.core.results.ResultStore` persists, so
 cached trials round-trip through the store unchanged.
+
+Directory caches are also the unit of *transport* for fleet operation
+(:mod:`repro.fleet`): shard workers write disjoint cache directories that
+the merger unions back together, so only ``<64-hex-digest>.json`` files
+are treated as entries - anything else in the directory (receipts,
+notes) is ignored.  An optional byte-size cap turns the directory into an
+LRU: reads touch the entry's mtime and :meth:`evict` drops the
+least-recently-used entries until the cache fits.
 """
 
 from __future__ import annotations
@@ -21,8 +29,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from ..browser.environment import ClientEnvironment
 from .experiment import ExperimentResult
@@ -33,6 +42,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Bump whenever ExperimentResult serialisation or trial semantics change
 #: in a way that makes previously cached payloads stale.
 CACHE_SCHEMA_VERSION = 1
+
+_KEY_HEX_LENGTH = 64  # sha256 hexdigest
+
+
+def is_cache_key(text: str) -> bool:
+    """True when ``text`` has the shape of a trial cache key."""
+    if len(text) != _KEY_HEX_LENGTH:
+        return False
+    return all(c in "0123456789abcdef" for c in text)
 
 
 def trial_cache_key(
@@ -68,16 +86,27 @@ class TrialCache:
     deduplicating within a single sweep).  An in-memory index is kept in
     front of the directory either way, so repeated hits never re-read
     files.
+
+    ``max_bytes`` caps the on-disk footprint: every :meth:`put` evicts
+    least-recently-used entries (mtime order; :meth:`get` touches the
+    entry file) until the directory fits.  The cap applies only to
+    directory caches - a memory-only cache ignores it.
     """
 
-    def __init__(self, cache_dir: Optional[Path] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[Path] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self._memory: Dict[str, Dict] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Lookup / insert
@@ -97,6 +126,10 @@ class TrialCache:
         if payload is None:
             self.misses += 1
             return None
+        if self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                os.utime(path)  # touch: LRU recency for evict()
         self.hits += 1
         return ExperimentResult.from_json(payload)
 
@@ -113,35 +146,94 @@ class TrialCache:
         self.stores += 1
         if self.cache_dir is not None:
             self._path(key).write_text(json.dumps(payload, indent=1))
+            if self.max_bytes is not None:
+                self.evict()
+
+    # ------------------------------------------------------------------
+    # Eviction (ROADMAP: size cap + LRU over the on-disk JSON entries)
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Total size of the on-disk entries (0 for memory-only caches)."""
+        if self.cache_dir is None:
+            return 0
+        return sum(path.stat().st_size for path in self._entry_paths())
+
+    def evict(self, max_bytes: Optional[int] = None) -> List[str]:
+        """Drop least-recently-used disk entries until the cache fits.
+
+        ``max_bytes`` overrides the instance cap for this call.  Returns
+        the evicted keys, oldest first.  Memory-only caches (and caches
+        without a cap) evict nothing.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None or self.cache_dir is None:
+            return []
+        entries = []
+        for path in self._entry_paths():
+            stat = path.stat()
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+        total = sum(size for _m, _n, _p, size in entries)
+        evicted: List[str] = []
+        for _mtime, _name, path, size in sorted(entries):
+            if total <= cap:
+                break
+            path.unlink()
+            self._memory.pop(path.stem, None)
+            total -= size
+            evicted.append(path.stem)
+        self.evictions += len(evicted)
+        return evicted
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    def contains_key(self, key: str) -> bool:
+        """True when an entry for this precomputed key is present."""
+        if key in self._memory:
+            return True
+        return self.cache_dir is not None and self._path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Iterate every entry key (disk entries included)."""
+        seen = set(self._memory)
+        yield from seen
+        for path in self._entry_paths():
+            if path.stem not in seen:
+                yield path.stem
 
     def results(self) -> Iterator[ExperimentResult]:
         """Iterate every cached result (disk entries included)."""
         seen = set(self._memory)
         for payload in self._memory.values():
             yield ExperimentResult.from_json(payload)
-        if self.cache_dir is not None:
-            for path in sorted(self.cache_dir.glob("*.json")):
-                if path.stem in seen:
-                    continue
-                yield ExperimentResult.from_json(json.loads(path.read_text()))
+        for path in self._entry_paths():
+            if path.stem in seen:
+                continue
+            yield ExperimentResult.from_json(json.loads(path.read_text()))
 
     def __len__(self) -> int:
         entries = set(self._memory)
-        if self.cache_dir is not None:
-            entries.update(p.stem for p in self.cache_dir.glob("*.json"))
+        entries.update(path.stem for path in self._entry_paths())
         return len(entries)
 
     def clear(self) -> None:
         """Drop every entry (memory and disk) and reset counters."""
         self._memory.clear()
-        if self.cache_dir is not None:
-            for path in self.cache_dir.glob("*.json"):
-                path.unlink()
-        self.hits = self.misses = self.stores = 0
+        for path in self._entry_paths():
+            path.unlink()
+        self.hits = self.misses = self.stores = self.evictions = 0
+
+    def _entry_paths(self) -> List[Path]:
+        """The on-disk entry files (receipts and strays excluded)."""
+        if self.cache_dir is None:
+            return []
+        return sorted(
+            path
+            for path in self.cache_dir.glob("*.json")
+            if is_cache_key(path.stem)
+        )
 
     def _path(self, key: str) -> Path:
         assert self.cache_dir is not None

@@ -24,7 +24,11 @@ def mmf_share(achieved_bps: float, allocation_bps: float) -> float:
 
 
 def jains_fairness_index(rates_bps: Sequence[float]) -> float:
-    """Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = equal."""
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = equal.
+
+    Mathematically bounded by 1.0; squaring subnormal-range rates loses
+    precision, so the ratio is clamped back into range.
+    """
     rates = [max(0.0, r) for r in rates_bps]
     if not rates:
         raise ValueError("need at least one rate")
@@ -32,7 +36,7 @@ def jains_fairness_index(rates_bps: Sequence[float]) -> float:
     squares = sum(r * r for r in rates)
     if squares == 0:
         return 1.0
-    return (total * total) / (len(rates) * squares)
+    return min(1.0, (total * total) / (len(rates) * squares))
 
 
 def harm(solo_bps: float, contended_bps: float) -> float:

@@ -13,7 +13,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .results import ResultStore
+from .runner import RunnerStats
 from .stats import median
+
+#: Bump when the serialised report layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -30,17 +34,50 @@ class TransitivityTriple:
 
 
 class FairnessReport:
-    """Aggregated fairness view over a set of measured pairs."""
+    """Aggregated fairness view over a set of measured pairs.
+
+    ``runner_stats``, when provided by the orchestrator that produced the
+    underlying measurements, records how the cycle was executed - trials
+    simulated vs served from cache, and simulation wall-clock - so
+    published findings carry their own provenance (a fully cache-assembled
+    report shows ``trials_run == 0``).
+    """
 
     def __init__(
         self,
         store: ResultStore,
         service_ids: Sequence[str],
         bandwidth_bps: float,
+        runner_stats: Optional[RunnerStats] = None,
     ) -> None:
         self.store = store
         self.service_ids = list(service_ids)
         self.bandwidth_bps = bandwidth_bps
+        self.runner_stats = runner_stats
+
+    def to_json(self) -> Dict:
+        """Serialise the published view of this report.
+
+        Heatmap cells are keyed ``"contender|incumbent"`` (JSON objects
+        cannot key on tuples); unmeasured cells serialise as ``null``.
+        """
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "bandwidth_bps": self.bandwidth_bps,
+            "service_ids": list(self.service_ids),
+            "heatmap": {
+                f"{contender}|{incumbent}": share
+                for (contender, incumbent), share in self.heatmap().items()
+            },
+            "losing_service_stats": self.losing_service_stats(),
+            "contentiousness": self.contentiousness(),
+            "sensitivity": self.sensitivity(),
+            "runner_stats": (
+                self.runner_stats.to_json()
+                if self.runner_stats is not None
+                else None
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Heatmap (Fig 2)

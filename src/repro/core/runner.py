@@ -25,10 +25,11 @@ module-level factory path (``catalog_factory="pkg.module:func"``).
 
 from __future__ import annotations
 
+import asyncio
 import importlib
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclasses_fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..browser.environment import ClientEnvironment
@@ -183,6 +184,21 @@ class RunnerStats:
             wall_clock_sec=self.wall_clock_sec + other.wall_clock_sec,
         )
 
+    def to_json(self) -> Dict:
+        """Serialise the counters (report/receipt publication)."""
+        return {
+            "trials_run": self.trials_run,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_clock_sec": self.wall_clock_sec,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "RunnerStats":
+        """Deserialise, ignoring unknown keys (forward compatibility)."""
+        known = {f.name for f in dataclasses_fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
 
 class ExecutionBackend:
     """Common submit/drain interface every execution substrate implements.
@@ -334,6 +350,89 @@ class ProcessPoolBackend(ExecutionBackend):
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             raw = list(pool.map(_run_trial_json, payload))
         return [ExperimentResult.from_json(entry) for entry in raw]
+
+
+class AsyncioBackend(ExecutionBackend):
+    """Async in-process execution over one asyncio event loop.
+
+    For platforms where ``fork``/process pools are unavailable (restricted
+    sandboxes, embedded interpreters, Windows spawn limitations): trials
+    are interleaved as coroutines bounded by ``max_concurrency``, each
+    simulated in a worker thread via :func:`asyncio.to_thread`.  No
+    subprocesses, no pickling - so, like :class:`InlineBackend`, it
+    supports custom catalogs and client environments.  Results are
+    bit-identical to every other backend (each trial is an isolated,
+    seeded simulation); only the interleaving changes.
+    """
+
+    DEFAULT_CONCURRENCY = 8
+
+    def __init__(
+        self,
+        max_concurrency: Optional[int] = None,
+        catalog: Optional[ServiceCatalog] = None,
+        env: Optional[ClientEnvironment] = None,
+        cache: Optional[TrialCache] = None,
+    ) -> None:
+        super().__init__(cache=cache)
+        self.max_concurrency = max_concurrency or self.DEFAULT_CONCURRENCY
+        self.catalog = catalog
+        self.env = env
+
+    def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
+        """Run every trial on a private event loop, preserving order."""
+        return asyncio.run(self._gather(list(trials)))
+
+    async def _gather(
+        self, trials: List[TrialSpec]
+    ) -> List[ExperimentResult]:
+        semaphore = asyncio.Semaphore(self.max_concurrency)
+
+        async def one(spec: TrialSpec) -> ExperimentResult:
+            async with semaphore:
+                return await asyncio.to_thread(
+                    run_trial, spec, catalog=self.catalog, env=self.env
+                )
+
+        return list(await asyncio.gather(*(one(spec) for spec in trials)))
+
+    def _cache_env(self) -> Optional[ClientEnvironment]:
+        """Cache keys include this backend's client environment."""
+        return self.env
+
+
+#: CLI / fleet-manifest names for the execution substrates.
+BACKEND_KINDS = ("inline", "process", "async")
+
+
+def build_backend(
+    kind: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache: Optional[TrialCache] = None,
+    catalog: Optional[ServiceCatalog] = None,
+    env: Optional[ClientEnvironment] = None,
+) -> ExecutionBackend:
+    """Construct an execution backend from CLI-ish knobs.
+
+    ``kind=None`` keeps the historic behaviour: ``workers`` selects the
+    process pool, otherwise execution is inline.  Explicit kinds pick the
+    substrate directly, with ``workers`` bounding pool size / async
+    concurrency.  The process pool rebuilds the default catalog by name,
+    so ``catalog``/``env`` apply only to the in-process substrates.
+    """
+    if kind is None:
+        kind = "process" if workers else "inline"
+    if kind == "process":
+        return ProcessPoolBackend(max_workers=workers, cache=cache)
+    if kind == "async":
+        return AsyncioBackend(
+            max_concurrency=workers, catalog=catalog, env=env, cache=cache
+        )
+    if kind == "inline":
+        return InlineBackend(catalog=catalog, env=env, cache=cache)
+    raise ValueError(
+        f"unknown backend kind {kind!r}; choices: {BACKEND_KINDS}"
+    )
 
 
 def all_pairs_trials(

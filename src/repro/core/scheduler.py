@@ -154,3 +154,37 @@ class RoundRobinScheduler:
             for pair, state in self.states.items()
             if state.decision is not None and state.decision.unstable
         ]
+
+
+def fixed_trial_scheduler(
+    service_ids: List[str],
+    trials_per_pair: int,
+    include_self_pairs: bool = True,
+    base_seed: int = 0,
+) -> RoundRobinScheduler:
+    """A scheduler that runs exactly ``trials_per_pair`` trials per pair.
+
+    Disabling the adaptive CI re-queueing (min == max == batch, an
+    unreachable CI threshold) makes the whole cycle enumerable up front:
+    one :meth:`RoundRobinScheduler.next_batch` call *is* the cycle.  This
+    is the deterministic shape fleet planning requires - the trial list,
+    and therefore every cache key, is known before anything executes -
+    and it matches the fixed-trial policy the ``cycle`` CLI command uses,
+    so sharded plans reproduce single-host CLI cycles seed for seed.
+    """
+    from ..config import TrialPolicyConfig
+
+    policy = TrialPolicy(
+        TrialPolicyConfig(
+            min_trials=trials_per_pair,
+            max_trials=trials_per_pair,
+            batch_size=trials_per_pair,
+            ci_halfwidth_bps=float("inf"),
+        )
+    )
+    return RoundRobinScheduler(
+        service_ids,
+        policy,
+        include_self_pairs=include_self_pairs,
+        base_seed=base_seed,
+    )

@@ -32,9 +32,16 @@ class SweepPoint:
     utilization: float
 
 
-def _aggregate(
+def aggregate_pair_results(
     results: Sequence[ExperimentResult], id_a: str, id_b: str
 ) -> Tuple[float, float, float, float, float]:
+    """Reduce one sweep point's trials to its plotted medians.
+
+    Returns ``(share_a, share_b, utilization, loss_rate, queueing_delay)``
+    medians over ``results``.  Shared by the in-process sweeps and the
+    fleet assembler so a reassembled curve matches a local one exactly.
+    """
+
     def series(target: str, field: str) -> List[float]:
         values = []
         for result in results:
@@ -52,6 +59,63 @@ def _aggregate(
         median(series(id_b, "throughput_bps")),
         median([r.utilization for r in results]),
     )
+
+
+def expand_sweep_networks(
+    kind: str,
+    values: Sequence[float],
+    base_network: Optional[NetworkConfig] = None,
+) -> List[Tuple[float, NetworkConfig]]:
+    """Expand one swept parameter into ``(value, NetworkConfig)`` points.
+
+    The single source of sweep-point truth: the in-process sweep runners
+    and the fleet planner both expand through here, so a sharded sweep
+    enumerates exactly the networks (and therefore cache keys) a local
+    sweep would execute.  ``kind`` is one of ``bandwidth`` (Mbps),
+    ``buffer`` (xBDP), ``rtt`` (ms), or ``loss`` (fraction).
+    """
+    base = base_network or NetworkConfig(bandwidth_bps=units.mbps(8))
+    if kind == "bandwidth":
+        return [(v, base.with_bandwidth(units.mbps(v))) for v in values]
+    if kind == "buffer":
+        return [(v, base.with_buffer_multiple(v)) for v in values]
+    if kind == "rtt":
+        return [
+            (v, replace(base, base_rtt_usec=units.msec(v))) for v in values
+        ]
+    if kind == "loss":
+        return [(v, replace(base, external_loss_rate=v)) for v in values]
+    raise ValueError(
+        f"unknown sweep kind {kind!r}; "
+        "choices: bandwidth, buffer, rtt, loss"
+    )
+
+
+def pair_sweep_trials(
+    service_id_a: str,
+    service_id_b: str,
+    networks: Sequence[Tuple[float, NetworkConfig]],
+    config: ExperimentConfig,
+    trials: int,
+    base_seed: int,
+) -> List[TrialSpec]:
+    """The full trial list for a pair sweep, in execution order.
+
+    ``trials`` seeded repetitions per sweep point, point-major - the
+    exact submission order :func:`_run_points` uses, so planners that
+    enumerate through here stay index-aligned with sweep aggregation.
+    """
+    return [
+        TrialSpec.pair(
+            service_id_a,
+            service_id_b,
+            network,
+            config,
+            seed=base_seed + trial,
+        )
+        for _parameter, network in networks
+        for trial in range(trials)
+    ]
 
 
 def _pair_backend(
@@ -84,22 +148,21 @@ def _run_points(
     backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     runner = _pair_backend(spec_a, spec_b, backend)
-    for _parameter, network in networks:
-        runner.submit(
-            TrialSpec.pair(
-                spec_a.service_id,
-                spec_b.service_id,
-                network,
-                config,
-                seed=base_seed + trial,
-            )
-            for trial in range(trials)
+    runner.submit(
+        pair_sweep_trials(
+            spec_a.service_id,
+            spec_b.service_id,
+            networks,
+            config,
+            trials,
+            base_seed,
         )
+    )
     all_results = runner.drain()
     points = []
     for index, (parameter, _network) in enumerate(networks):
         results = all_results[index * trials:(index + 1) * trials]
-        share_a, share_b, thr_a, thr_b, util = _aggregate(
+        share_a, share_b, thr_a, thr_b, util = aggregate_pair_results(
             results, spec_a.service_id, spec_b.service_id
         )
         points.append(
@@ -119,10 +182,7 @@ def bandwidth_sweep(
     backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     """Fairness vs bottleneck bandwidth (Fig 7 / Observation 12)."""
-    base = base_network or NetworkConfig(bandwidth_bps=units.mbps(8))
-    networks = [
-        (bw, base.with_bandwidth(units.mbps(bw))) for bw in bandwidths_mbps
-    ]
+    networks = expand_sweep_networks("bandwidth", bandwidths_mbps, base_network)
     return _run_points(
         spec_a, spec_b, networks, config, trials, base_seed, backend
     )
@@ -139,10 +199,7 @@ def buffer_sweep(
     backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     """Fairness vs buffer depth (Observation 11)."""
-    networks = [
-        (multiple, network.with_buffer_multiple(multiple))
-        for multiple in bdp_multiples
-    ]
+    networks = expand_sweep_networks("buffer", bdp_multiples, network)
     return _run_points(
         spec_a, spec_b, networks, config, trials, base_seed, backend
     )
@@ -159,10 +216,7 @@ def rtt_sweep(
     backend: Optional[ExecutionBackend] = None,
 ) -> List[SweepPoint]:
     """Fairness vs normalised RTT (Section 9: network settings)."""
-    networks = [
-        (rtt, replace(network, base_rtt_usec=units.msec(rtt)))
-        for rtt in rtts_ms
-    ]
+    networks = expand_sweep_networks("rtt", rtts_ms, network)
     return _run_points(
         spec_a, spec_b, networks, config, trials, base_seed, backend
     )
@@ -184,10 +238,7 @@ def background_loss_sweep(
     watchdog's hygiene rule; this sweep is exactly the controlled study
     the paper proposes instead.
     """
-    networks = [
-        (rate, replace(network, external_loss_rate=rate))
-        for rate in loss_rates
-    ]
+    networks = expand_sweep_networks("loss", loss_rates, network)
     return _run_points(
         spec_a, spec_b, networks, config, trials, base_seed, backend
     )

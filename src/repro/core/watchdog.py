@@ -199,6 +199,16 @@ class Prudentia:
         network: NetworkConfig,
         service_ids: Optional[List[str]] = None,
     ) -> FairnessReport:
-        """A fairness report over everything measured at this setting."""
+        """A fairness report over everything measured at this setting.
+
+        The most recent cycle's execution counters ride along, so the
+        published report records how much of the cycle was simulated
+        versus served from cache.
+        """
         ids = service_ids or self.catalog.heatmap_ids()
-        return FairnessReport(self.store, ids, network.bandwidth_bps)
+        return FairnessReport(
+            self.store,
+            ids,
+            network.bandwidth_bps,
+            runner_stats=self.last_cycle_stats,
+        )

@@ -1,0 +1,57 @@
+"""Sharded multi-host trial execution (``repro.fleet``).
+
+Turns a watchdog cycle or parameter sweep into a deterministic,
+shardable plan executed across many hosts and re-assembled losslessly:
+
+1. :func:`plan_cycle` / :func:`plan_sweep` enumerate every
+   :class:`~repro.core.runner.TrialSpec` and its cache key, then
+   partition the matrix across N shards by key hash
+   (:func:`shard_for_key` - stable under re-planning).
+2. :meth:`FleetPlan.write` emits schema-versioned JSON manifests, one
+   per shard.
+3. :func:`run_shard` executes a manifest through the standard
+   :class:`~repro.core.runner.ExecutionBackend` machinery into a
+   content-addressed :class:`~repro.core.cache.TrialCache` directory,
+   leaving a completion receipt with
+   :class:`~repro.core.runner.RunnerStats`.
+4. :func:`merge_shards` unions the shard caches, rejecting schema skew
+   and divergent duplicates, and diffing coverage against the plan.
+5. :func:`assemble_reports` / :func:`assemble_sweep` rebuild the
+   published artifact from the merged cache with **zero re-simulation**,
+   bit-identical to a single-host run.
+"""
+
+from .assemble import assemble_reports, assemble_store, assemble_sweep
+from .merge import MergeReport, merge_shards
+from .plan import (
+    MANIFEST_SCHEMA_VERSION,
+    FleetError,
+    FleetPlan,
+    PlannedTrial,
+    load_manifest,
+    load_plan,
+    plan_cycle,
+    plan_sweep,
+    shard_for_key,
+)
+from .worker import RECEIPT_FILENAME, ShardReceipt, run_shard
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RECEIPT_FILENAME",
+    "FleetError",
+    "FleetPlan",
+    "MergeReport",
+    "PlannedTrial",
+    "ShardReceipt",
+    "assemble_reports",
+    "assemble_store",
+    "assemble_sweep",
+    "load_manifest",
+    "load_plan",
+    "merge_shards",
+    "plan_cycle",
+    "plan_sweep",
+    "run_shard",
+    "shard_for_key",
+]

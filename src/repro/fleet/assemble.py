@@ -1,0 +1,120 @@
+"""Report assembly: rebuild published artifacts from a merged cache.
+
+The last fleet stage proves the round trip: replaying the plan's trial
+list through an :class:`~repro.core.runner.InlineBackend` wired to the
+merged cache rebuilds the :class:`~repro.core.results.ResultStore` in
+single-host execution order *without simulating anything* - every trial
+must be a cache hit, and the assembler refuses to silently re-simulate
+if one is not.  The resulting :class:`~repro.core.report.FairnessReport`
+(or sweep curve) is therefore bit-identical to what one host running the
+whole cycle would have published, and its attached
+:class:`~repro.core.runner.RunnerStats` proves it: ``trials_run == 0``,
+``cache_hits == len(plan.trials)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.cache import TrialCache
+from ..core.report import FairnessReport
+from ..core.results import ResultStore
+from ..core.runner import InlineBackend, RunnerStats
+from ..core.sweep import SweepPoint, aggregate_pair_results
+from ..services.catalog import ServiceCatalog
+from .plan import FleetError, FleetPlan, _dataclass_from_json
+from ..config import NetworkConfig
+
+
+def assemble_store(
+    plan: FleetPlan,
+    cache: TrialCache,
+    catalog: Optional[ServiceCatalog] = None,
+) -> Tuple[ResultStore, RunnerStats, List]:
+    """Replay the plan against the cache: zero simulations, full store.
+
+    Verifies completeness up front (so a gap fails fast instead of
+    triggering an hours-long accidental simulation), then replays every
+    planned spec in plan order.  Returns the store (valid trials only,
+    matching the watchdog's hygiene rule), the assembly
+    :class:`RunnerStats`, and the raw per-trial results in plan order
+    (sweep aggregation needs them positionally).
+    """
+    missing = [
+        t.cache_key for t in plan.trials if not cache.contains_key(t.cache_key)
+    ]
+    if missing:
+        preview = ", ".join(k[:12] + "..." for k in missing[:5])
+        raise FleetError(
+            f"cache is missing {len(missing)} of {len(plan.trials)} "
+            f"planned trials ({preview}) - merge all shards before "
+            "assembling"
+        )
+    backend = InlineBackend(catalog=catalog, cache=cache)
+    results = backend.run([t.spec for t in plan.trials])
+    if backend.stats.trials_run != 0:
+        raise FleetError(
+            f"assembly simulated {backend.stats.trials_run} trials - "
+            "cache entries disappeared mid-assembly (concurrent "
+            "eviction?); aborting rather than publish mixed provenance"
+        )
+    store = ResultStore()
+    store.extend(results, valid_only=True)
+    return store, backend.stats, results
+
+
+def assemble_reports(
+    plan: FleetPlan,
+    cache: TrialCache,
+    catalog: Optional[ServiceCatalog] = None,
+) -> List[FairnessReport]:
+    """Rebuild the cycle's fairness report(s), one per network setting.
+
+    Bit-identical to the single-host cycle's reports; ``runner_stats``
+    on each report documents the zero-simulation assembly.
+    """
+    if plan.kind != "cycle":
+        raise FleetError(f"plan kind {plan.kind!r} does not assemble "
+                         "into fairness reports; use assemble_sweep")
+    store, stats, _results = assemble_store(plan, cache, catalog=catalog)
+    service_ids = list(plan.params["service_ids"])
+    reports = []
+    for payload in plan.params["networks"]:
+        network = _dataclass_from_json(NetworkConfig, payload)
+        reports.append(
+            FairnessReport(
+                store,
+                service_ids,
+                network.bandwidth_bps,
+                runner_stats=stats,
+            )
+        )
+    return reports
+
+
+def assemble_sweep(
+    plan: FleetPlan,
+    cache: TrialCache,
+    catalog: Optional[ServiceCatalog] = None,
+) -> List[SweepPoint]:
+    """Rebuild a sweep's (parameter -> shares) curve from the cache.
+
+    Aggregates per sweep point exactly like the in-process sweep
+    runners: plan order is point-major with ``trials`` repetitions per
+    point, so results slice positionally.
+    """
+    if plan.kind != "sweep":
+        raise FleetError(f"plan kind {plan.kind!r} is not a sweep")
+    _store, _stats, results = assemble_store(plan, cache, catalog=catalog)
+    values = plan.params["values"]
+    trials = plan.params["trials"]
+    id_a = plan.params["service_id_a"]
+    id_b = plan.params["service_id_b"]
+    points = []
+    for index, value in enumerate(values):
+        window = results[index * trials:(index + 1) * trials]
+        share_a, share_b, thr_a, thr_b, util = aggregate_pair_results(window, id_a, id_b)
+        points.append(
+            SweepPoint(value, share_a, share_b, thr_a, thr_b, util)
+        )
+    return points

@@ -1,0 +1,262 @@
+"""``python -m repro fleet ...`` - the multi-host operational surface.
+
+Four subcommands mirror the four fleet stages:
+
+- ``fleet plan cycle|sweep`` - enumerate the trial matrix, partition it
+  by cache-key hash, write ``plan.json`` + ``shard-<i>.json`` manifests
+- ``fleet run-shard``        - execute one manifest into a cache dir
+  (runs on any host; ship the manifest there and the cache dir back)
+- ``fleet merge``            - union shard caches, verifying receipts,
+  schema versions, duplicates, and coverage against the plan
+- ``fleet report``           - rebuild the fairness report / sweep curve
+  from the merged cache with zero re-simulation
+
+A two-shard local walkthrough lives in the README's multi-host section;
+CI runs it end-to-end and asserts the assembled report equals the
+single-host one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .. import units
+from ..config import ExperimentConfig, NetworkConfig
+from ..core.cache import TrialCache
+from ..core.runner import BACKEND_KINDS
+from ..core.sweep import render_sweep
+from ..services.catalog import default_catalog
+from .assemble import assemble_reports, assemble_sweep
+from .merge import merge_shards
+from .plan import FleetError, load_plan, plan_cycle, plan_sweep
+from .worker import run_shard
+
+
+def _network(args) -> NetworkConfig:
+    return NetworkConfig(
+        bandwidth_bps=units.mbps(args.bandwidth),
+        buffer_bdp_multiple=args.buffer_bdp,
+    )
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig().scaled(args.duration)
+
+
+def cmd_fleet_plan(args) -> int:
+    """Write plan.json + per-shard manifests for a cycle or sweep."""
+    if args.plan_kind == "cycle":
+        ids = args.services or default_catalog().heatmap_ids()
+        plan = plan_cycle(
+            ids,
+            [_network(args)],
+            _config(args),
+            trials_per_pair=args.trials,
+            num_shards=args.shards,
+            base_seed=args.seed,
+            include_self_pairs=not args.no_self_pairs,
+        )
+    else:
+        values = [float(v) for v in args.values.split(",")]
+        plan = plan_sweep(
+            args.kind,
+            args.service_a,
+            args.service_b,
+            values,
+            _config(args),
+            num_shards=args.shards,
+            base_network=_network(args),
+            trials=args.trials,
+            base_seed=args.seed,
+        )
+    paths = plan.write(args.out_dir)
+    sizes = [len(plan.shard_trials(s)) for s in range(plan.num_shards)]
+    print(
+        f"planned {len(plan.trials)} trials into {plan.num_shards} shards "
+        f"{sizes} (plan {plan.plan_id[:12]}...)"
+    )
+    for path in paths:
+        print(f"  {path}")
+    return 0
+
+
+def cmd_fleet_run_shard(args) -> int:
+    """Execute one shard manifest into a cache directory."""
+    receipt = run_shard(
+        args.manifest,
+        args.cache_dir,
+        backend_kind=args.backend,
+        workers=args.workers,
+        cache_max_bytes=args.cache_max_bytes,
+    )
+    stats = receipt.stats
+    print(
+        f"shard {receipt.shard_index}/{receipt.num_shards}: "
+        f"{len(receipt.completed_keys)} trials done "
+        f"({stats.trials_run} simulated, {stats.cache_hits} cache hits, "
+        f"{stats.wall_clock_sec:.1f}s simulating) -> {args.cache_dir}"
+    )
+    return 0
+
+
+def cmd_fleet_merge(args) -> int:
+    """Union shard cache directories against a plan."""
+    plan = load_plan(args.plan)
+    report = merge_shards(
+        plan,
+        args.shard_dirs,
+        args.into,
+        allow_gaps=args.allow_gaps,
+    )
+    print(
+        f"merged {report.entries_merged} entries from {report.shards} "
+        f"shards into {args.into} "
+        f"({report.duplicates} duplicates, {report.extras} extras, "
+        f"{len(report.gaps)} gaps; fleet simulated "
+        f"{report.stats.trials_run} trials in "
+        f"{report.stats.wall_clock_sec:.1f}s)"
+    )
+    if report.gaps:
+        print(f"WARNING: {len(report.gaps)} planned trials uncovered",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_fleet_report(args) -> int:
+    """Assemble the published artifact from a merged cache."""
+    plan = load_plan(args.plan)
+    cache = TrialCache(Path(args.cache_dir))
+    if plan.kind == "sweep":
+        points = assemble_sweep(plan, cache)
+        labels = {
+            "bandwidth": "bandwidth Mbps",
+            "buffer": "buffer xBDP",
+            "rtt": "RTT ms",
+            "loss": "loss rate",
+        }
+        kind = plan.params["sweep_kind"]
+        print(
+            render_sweep(
+                points,
+                plan.params["service_id_a"],
+                plan.params["service_id_b"],
+                labels.get(kind, kind),
+            )
+        )
+        return 0
+    reports = assemble_reports(plan, cache)
+    if args.json:
+        payload = [r.to_json() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=1))
+    else:
+        for report in reports:
+            print(report.render_heatmap())
+            stats = report.losing_service_stats()
+            if stats:
+                print(f"\nmedian losing share: "
+                      f"{stats['median_losing_share'] * 100:.0f}%")
+                print(f"most contentious: {report.most_contentious()}  |  "
+                      f"least contentious: {report.least_contentious()}")
+    assembly = reports[0].runner_stats
+    print(
+        f"[fleet] assembled from cache: {assembly.trials_run} simulated, "
+        f"{assembly.cache_hits} cache hits",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _wrap(func):
+    """Surface FleetError as exit code 1 with a clean message."""
+
+    def runner(args) -> int:
+        try:
+            return func(args)
+        except FleetError as exc:
+            print(f"fleet error: {exc}", file=sys.stderr)
+            return 1
+
+    return runner
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``fleet`` command tree to the top-level CLI."""
+    fleet = sub.add_parser(
+        "fleet", help="sharded multi-host trial execution"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    plan = fleet_sub.add_parser(
+        "plan", help="enumerate + partition a trial matrix"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_kind", required=True)
+
+    def add_plan_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shards", type=int, required=True,
+                       help="number of shards to partition into")
+        p.add_argument("--out-dir", required=True,
+                       help="directory for plan.json + shard manifests")
+        p.add_argument("--trials", type=int, default=3)
+        p.add_argument("--bandwidth", type=float, default=8.0,
+                       help="bottleneck bandwidth in Mbps (default: 8)")
+        p.add_argument("--buffer-bdp", type=float, default=4.0,
+                       help="queue size as a BDP multiple (default: 4)")
+        p.add_argument("--duration", type=float, default=60.0,
+                       help="experiment duration in seconds (default: 60)")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = plan_sub.add_parser("cycle", help="all-pairs watchdog cycle")
+    p.add_argument("--services", nargs="*", default=None)
+    p.add_argument("--no-self-pairs", action="store_true")
+    add_plan_common(p)
+    p.set_defaults(func=_wrap(cmd_fleet_plan))
+
+    p = plan_sub.add_parser("sweep", help="pair parameter sweep")
+    p.add_argument("kind", choices=["bandwidth", "buffer", "rtt", "loss"])
+    p.add_argument("service_a")
+    p.add_argument("service_b")
+    p.add_argument("--values", required=True,
+                   help="comma-separated parameter values")
+    add_plan_common(p)
+    p.set_defaults(func=_wrap(cmd_fleet_plan))
+
+    p = fleet_sub.add_parser(
+        "run-shard", help="execute one shard manifest on this host"
+    )
+    p.add_argument("manifest", help="shard-<i>.json written by fleet plan")
+    p.add_argument("--cache-dir", required=True,
+                   help="cache directory to execute into")
+    p.add_argument("--backend", choices=list(BACKEND_KINDS), default=None,
+                   help="execution substrate (default: process when "
+                        "--workers is set, else inline)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size / async concurrency")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   help="LRU-evict the shard cache above this many bytes")
+    p.set_defaults(func=_wrap(cmd_fleet_run_shard))
+
+    p = fleet_sub.add_parser(
+        "merge", help="union shard caches, verify against the plan"
+    )
+    p.add_argument("shard_dirs", nargs="+",
+                   help="shard cache directories to merge")
+    p.add_argument("--plan", required=True, help="plan.json path")
+    p.add_argument("--into", required=True,
+                   help="destination merged cache directory")
+    p.add_argument("--allow-gaps", action="store_true",
+                   help="tolerate planned trials missing from the union")
+    p.set_defaults(func=_wrap(cmd_fleet_merge))
+
+    p = fleet_sub.add_parser(
+        "report", help="assemble the report from a merged cache"
+    )
+    p.add_argument("--plan", required=True, help="plan.json path")
+    p.add_argument("--cache-dir", required=True,
+                   help="merged cache directory")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=_wrap(cmd_fleet_report))

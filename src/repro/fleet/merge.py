@@ -1,0 +1,134 @@
+"""Cache merge: union shard caches back into one, losslessly and loudly.
+
+The merge is where multi-host execution either becomes exactly a
+single-host run or silently is not - so it verifies everything it can:
+
+- every shard directory carries a completion receipt for *this* plan
+  (plan-id match) at *this* cache schema version (skew rejected);
+- entries present in several shards must be byte-identical (the
+  simulator is deterministic - divergent duplicates mean version skew or
+  a corrupted transfer, never legitimate data);
+- the union is diffed against the plan's expected key set: gaps
+  (planned-but-missing trials) fail the merge unless explicitly allowed,
+  and extras (unplanned entries, e.g. from a pre-warmed shared cache)
+  are counted but tolerated.
+
+Shard receipts' :class:`~repro.core.runner.RunnerStats` are summed, so
+the merged cache knows how much total simulation the fleet performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from ..core.cache import CACHE_SCHEMA_VERSION, is_cache_key
+from ..core.runner import RunnerStats
+from .plan import FleetError, FleetPlan
+from .worker import ShardReceipt
+
+
+@dataclass
+class MergeReport:
+    """What the merge did and what it found."""
+
+    shards: int = 0
+    entries_merged: int = 0
+    duplicates: int = 0
+    gaps: List[str] = field(default_factory=list)
+    extras: int = 0
+    stats: RunnerStats = field(default_factory=RunnerStats)
+
+    def to_json(self) -> Dict:
+        """Machine-readable merge summary (stats nested as JSON)."""
+        return {
+            "shards": self.shards,
+            "entries_merged": self.entries_merged,
+            "duplicates": self.duplicates,
+            "gaps": list(self.gaps),
+            "extras": self.extras,
+            "stats": self.stats.to_json(),
+        }
+
+
+def _shard_entries(shard_dir: Path) -> List[Path]:
+    return sorted(
+        path
+        for path in shard_dir.glob("*.json")
+        if is_cache_key(path.stem)
+    )
+
+
+def merge_shards(
+    plan: FleetPlan,
+    shard_dirs: Sequence[Union[str, Path]],
+    dest_dir: Union[str, Path],
+    allow_gaps: bool = False,
+    require_receipts: bool = True,
+) -> MergeReport:
+    """Union shard cache directories into ``dest_dir`` for this plan.
+
+    Raises :class:`FleetError` on receipt/plan/schema mismatch, on
+    divergent duplicate entries, and (unless ``allow_gaps``) when the
+    union does not cover every key the plan expects.  ``dest_dir`` may
+    be pre-populated (e.g. merging additional shards later); existing
+    byte-identical entries count as duplicates.
+    """
+    if plan.cache_schema != CACHE_SCHEMA_VERSION:
+        raise FleetError(
+            f"plan cache schema {plan.cache_schema} != this library's "
+            f"{CACHE_SCHEMA_VERSION} - the plan is stale; re-plan before "
+            "merging"
+        )
+    dest = Path(dest_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    expected = set(plan.expected_keys())
+    report = MergeReport(shards=len(shard_dirs))
+    for shard_dir in shard_dirs:
+        shard = Path(shard_dir)
+        if not shard.is_dir():
+            raise FleetError(f"shard cache {shard} is not a directory")
+        if require_receipts:
+            receipt = ShardReceipt.load(shard)
+            if receipt.plan_id != plan.plan_id:
+                raise FleetError(
+                    f"receipt in {shard} belongs to plan "
+                    f"{receipt.plan_id[:12]}..., not this plan "
+                    f"{plan.plan_id[:12]}..."
+                )
+            if receipt.cache_schema != plan.cache_schema:
+                raise FleetError(
+                    f"receipt in {shard} was produced at cache schema "
+                    f"{receipt.cache_schema}, plan expects "
+                    f"{plan.cache_schema} - rejected (results would not "
+                    "be comparable)"
+                )
+            report.stats = report.stats.merged_with(receipt.stats)
+        for entry in _shard_entries(shard):
+            data = entry.read_bytes()
+            target = dest / entry.name
+            if target.exists():
+                if target.read_bytes() != data:
+                    raise FleetError(
+                        f"divergent duplicate for key {entry.stem[:12]}... "
+                        f"({entry} vs {target}) - deterministic trials "
+                        "cannot legitimately differ; suspect version skew "
+                        "or corruption"
+                    )
+                report.duplicates += 1
+                continue
+            target.write_bytes(data)
+            report.entries_merged += 1
+            if entry.stem not in expected:
+                report.extras += 1
+    merged_keys = {path.stem for path in _shard_entries(dest)}
+    report.gaps = sorted(expected - merged_keys)
+    if report.gaps and not allow_gaps:
+        preview = ", ".join(k[:12] + "..." for k in report.gaps[:5])
+        raise FleetError(
+            f"merge leaves {len(report.gaps)} of {len(expected)} planned "
+            f"trials uncovered ({preview}) - a shard is missing, "
+            "incomplete, or was evicted below its own output size"
+        )
+    return report

@@ -1,0 +1,354 @@
+"""Deterministic shard planning: a cycle or sweep as a partitionable plan.
+
+The paper runs its all-pairs matrix on one testbed; Section 9 names
+parallel execution as the scaling path.  ``repro.fleet`` takes the step
+the ROADMAP calls "sharded multi-host sweep": because every trial is a
+deterministic seeded simulation addressed by a content hash
+(:func:`~repro.core.cache.trial_cache_key`), an entire watchdog cycle can
+be *planned* - every :class:`~repro.core.runner.TrialSpec` and its cache
+key enumerated up front - then partitioned across hosts, executed into
+disjoint cache directories, merged, and re-assembled into the exact
+report a single host would have produced.
+
+Planning is deterministic and the partition is *stable*: a spec's shard
+is a pure function of its cache key (hash modulo shard count), so
+re-planning - even after adding services or sweep points - never moves
+previously-planned work between shards.  Plans and per-shard manifests
+are schema-versioned JSON, forward-compatible in the same
+ignore-unknown-keys style as ``ExperimentResult.from_json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import units
+from ..config import ExperimentConfig, NetworkConfig
+from ..core.cache import CACHE_SCHEMA_VERSION, trial_cache_key
+from ..core.runner import TrialSpec
+from ..core.scheduler import fixed_trial_scheduler
+from ..core.sweep import expand_sweep_networks, pair_sweep_trials
+
+#: Bump when the plan/manifest JSON layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class FleetError(RuntimeError):
+    """A fleet invariant was violated (skew, gaps, duplicates, schema)."""
+
+
+def _canonical(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _dataclass_from_json(cls, payload: Dict):
+    """Rebuild a config dataclass, ignoring unknown keys (fwd compat)."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def network_fingerprint(network: NetworkConfig) -> str:
+    """Stable digest of one network setting (manifest cross-checks)."""
+    return hashlib.sha256(
+        _canonical(dataclasses.asdict(network)).encode("utf-8")
+    ).hexdigest()
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """Stable digest of one experiment protocol (manifest cross-checks)."""
+    return hashlib.sha256(
+        _canonical(dataclasses.asdict(config)).encode("utf-8")
+    ).hexdigest()
+
+
+def shard_for_key(cache_key: str, num_shards: int) -> int:
+    """The shard owning one cache key: stable hash partitioning.
+
+    Uses a prefix of the key itself (already a uniform SHA-256 digest),
+    so the assignment depends on nothing but the trial's content and the
+    shard count - re-planning with more services or sweep points never
+    reshuffles existing keys between shards.
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    return int(cache_key[:16], 16) % num_shards
+
+
+def spec_to_json(spec: TrialSpec, cache_key: str) -> Dict:
+    """Serialise one planned trial (spec + expected cache key)."""
+    return {
+        "service_ids": list(spec.service_ids),
+        "network": dataclasses.asdict(spec.network),
+        "config": dataclasses.asdict(spec.config),
+        "seed": spec.seed,
+        "cache_key": cache_key,
+    }
+
+
+def spec_from_json(payload: Dict) -> Tuple[TrialSpec, str]:
+    """Rebuild ``(TrialSpec, expected cache key)`` from manifest JSON."""
+    spec = TrialSpec(
+        service_ids=tuple(payload["service_ids"]),
+        network=_dataclass_from_json(NetworkConfig, payload["network"]),
+        config=_dataclass_from_json(ExperimentConfig, payload["config"]),
+        seed=payload["seed"],
+    )
+    return spec, payload["cache_key"]
+
+
+@dataclass(frozen=True)
+class PlannedTrial:
+    """One trial in a plan: the spec, its cache key, and its shard."""
+
+    spec: TrialSpec
+    cache_key: str
+    shard: int
+
+
+class FleetPlan:
+    """A fully-enumerated, shardable trial matrix plus assembly recipe.
+
+    ``kind`` is ``"cycle"`` (all-pairs watchdog cycle) or ``"sweep"``
+    (pair parameter sweep); ``params`` holds whatever the assembler needs
+    to rebuild the published artifact (service ids and networks for a
+    cycle; sweep kind/values/pair for a sweep).  ``trials`` is the full
+    ordered trial list - plan order is single-host execution order, which
+    is what makes assembled reports bit-identical to unsharded runs.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        num_shards: int,
+        trials: Sequence[PlannedTrial],
+        params: Dict,
+        cache_schema: int = CACHE_SCHEMA_VERSION,
+    ) -> None:
+        if kind not in ("cycle", "sweep"):
+            raise ValueError(f"unknown plan kind {kind!r}")
+        self.kind = kind
+        self.num_shards = num_shards
+        self.trials = list(trials)
+        self.params = dict(params)
+        self.cache_schema = cache_schema
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def plan_id(self) -> str:
+        """Content identity of the planned work.
+
+        Covers the sorted cache-key set (which itself covers every trial
+        input) and the schema versions - *not* the shard count, so the
+        same matrix planned at different widths shares one identity.
+        """
+        payload = {
+            "manifest_schema": MANIFEST_SCHEMA_VERSION,
+            "cache_schema": self.cache_schema,
+            "keys": sorted(t.cache_key for t in self.trials),
+        }
+        return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+    def expected_keys(self) -> List[str]:
+        """Every cache key the plan expects, in plan order."""
+        return [t.cache_key for t in self.trials]
+
+    def shard_trials(self, shard_index: int) -> List[PlannedTrial]:
+        """The trials owned by one shard, in plan order."""
+        if not 0 <= shard_index < self.num_shards:
+            raise ValueError(
+                f"shard {shard_index} out of range for "
+                f"{self.num_shards} shards"
+            )
+        return [t for t in self.trials if t.shard == shard_index]
+
+    # -- serialisation -------------------------------------------------
+
+    def to_json(self) -> Dict:
+        """Schema-versioned plan payload, round-trippable via from_json."""
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "kind": "fleet-plan",
+            "plan_kind": self.kind,
+            "plan_id": self.plan_id,
+            "cache_schema": self.cache_schema,
+            "num_shards": self.num_shards,
+            "params": self.params,
+            "trials": [
+                {**spec_to_json(t.spec, t.cache_key), "shard": t.shard}
+                for t in self.trials
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "FleetPlan":
+        """Load a plan, ignoring unknown keys; reject schema skew."""
+        schema = payload.get("schema")
+        if schema != MANIFEST_SCHEMA_VERSION:
+            raise FleetError(
+                f"plan schema {schema!r} != supported "
+                f"{MANIFEST_SCHEMA_VERSION}"
+            )
+        trials = []
+        for entry in payload["trials"]:
+            spec, key = spec_from_json(entry)
+            trials.append(PlannedTrial(spec, key, entry["shard"]))
+        plan = cls(
+            kind=payload["plan_kind"],
+            num_shards=payload["num_shards"],
+            trials=trials,
+            params=payload.get("params", {}),
+            cache_schema=payload.get("cache_schema", CACHE_SCHEMA_VERSION),
+        )
+        stated = payload.get("plan_id")
+        if stated is not None and stated != plan.plan_id:
+            raise FleetError(
+                "plan_id mismatch: file says "
+                f"{stated[:12]}..., recomputed {plan.plan_id[:12]}... "
+                "(edited plan or library version skew)"
+            )
+        return plan
+
+    def manifest_for(self, shard_index: int) -> Dict:
+        """The standalone JSON manifest one shard worker executes."""
+        owned = self.shard_trials(shard_index)
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "kind": "shard-manifest",
+            "plan_id": self.plan_id,
+            "plan_kind": self.kind,
+            "cache_schema": self.cache_schema,
+            "shard_index": shard_index,
+            "num_shards": self.num_shards,
+            "network_fingerprints": sorted(
+                {network_fingerprint(t.spec.network) for t in owned}
+            ),
+            "config_fingerprints": sorted(
+                {config_fingerprint(t.spec.config) for t in owned}
+            ),
+            "trials": [spec_to_json(t.spec, t.cache_key) for t in owned],
+        }
+
+    def write(self, out_dir: Union[str, Path]) -> List[Path]:
+        """Write ``plan.json`` plus one ``shard-<i>.json`` per shard.
+
+        Returns the written paths, plan file first.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = [out / "plan.json"]
+        paths[0].write_text(json.dumps(self.to_json(), indent=1))
+        for shard in range(self.num_shards):
+            path = out / f"shard-{shard}.json"
+            path.write_text(json.dumps(self.manifest_for(shard), indent=1))
+            paths.append(path)
+        return paths
+
+
+def load_plan(path: Union[str, Path]) -> FleetPlan:
+    """Read a ``plan.json`` from disk."""
+    return FleetPlan.from_json(json.loads(Path(path).read_text()))
+
+
+def load_manifest(path: Union[str, Path]) -> Dict:
+    """Read a shard manifest from disk, validating its schema."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != MANIFEST_SCHEMA_VERSION:
+        raise FleetError(
+            f"manifest schema {schema!r} != supported "
+            f"{MANIFEST_SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != "shard-manifest":
+        raise FleetError(
+            f"not a shard manifest: kind={payload.get('kind')!r}"
+        )
+    return payload
+
+
+def _planned(specs: Sequence[TrialSpec], num_shards: int) -> List[PlannedTrial]:
+    planned = []
+    for spec in specs:
+        key = trial_cache_key(spec)
+        planned.append(PlannedTrial(spec, key, shard_for_key(key, num_shards)))
+    return planned
+
+
+def plan_cycle(
+    service_ids: Sequence[str],
+    networks: Sequence[NetworkConfig],
+    config: ExperimentConfig,
+    trials_per_pair: int,
+    num_shards: int,
+    base_seed: int = 0,
+    include_self_pairs: bool = True,
+) -> FleetPlan:
+    """Plan one all-pairs watchdog cycle as a shardable trial matrix.
+
+    Enumerates through the same :func:`fixed_trial_scheduler` +
+    ``next_batch`` path a fixed-policy single-host cycle executes, so the
+    plan's specs, seeds, and round-robin order are identical to what
+    ``Prudentia.run_cycle`` (cycle 0) would run - which is what lets the
+    assembler rebuild a bit-identical report.
+    """
+    if trials_per_pair < 1:
+        raise ValueError("need at least one trial per pair")
+    specs: List[TrialSpec] = []
+    for network in networks:
+        scheduler = fixed_trial_scheduler(
+            list(service_ids),
+            trials_per_pair,
+            include_self_pairs=include_self_pairs,
+            base_seed=base_seed,
+        )
+        specs.extend(scheduler.next_batch(network, config))
+    params = {
+        "service_ids": sorted(service_ids),
+        "networks": [dataclasses.asdict(n) for n in networks],
+        "config": dataclasses.asdict(config),
+        "trials_per_pair": trials_per_pair,
+        "base_seed": base_seed,
+        "include_self_pairs": include_self_pairs,
+    }
+    return FleetPlan("cycle", num_shards, _planned(specs, num_shards), params)
+
+
+def plan_sweep(
+    sweep_kind: str,
+    service_id_a: str,
+    service_id_b: str,
+    values: Sequence[float],
+    config: ExperimentConfig,
+    num_shards: int,
+    base_network: Optional[NetworkConfig] = None,
+    trials: int = 3,
+    base_seed: int = 1,
+) -> FleetPlan:
+    """Plan a pair parameter sweep as a shardable trial matrix.
+
+    Sweep points expand through
+    :func:`~repro.core.sweep.expand_sweep_networks`, the same expansion
+    the in-process sweep runners use, so a merged fleet sweep aggregates
+    to exactly the local ``bandwidth_sweep``/``buffer_sweep``/... curves.
+    """
+    base = base_network or NetworkConfig(bandwidth_bps=units.mbps(8))
+    networks = expand_sweep_networks(sweep_kind, values, base)
+    specs = pair_sweep_trials(
+        service_id_a, service_id_b, networks, config, trials, base_seed
+    )
+    params = {
+        "sweep_kind": sweep_kind,
+        "service_id_a": service_id_a,
+        "service_id_b": service_id_b,
+        "values": list(values),
+        "base_network": dataclasses.asdict(base),
+        "config": dataclasses.asdict(config),
+        "trials": trials,
+        "base_seed": base_seed,
+    }
+    return FleetPlan("sweep", num_shards, _planned(specs, num_shards), params)

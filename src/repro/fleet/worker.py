@@ -1,0 +1,145 @@
+"""The shard worker: execute one manifest into a cache directory.
+
+One worker invocation (``python -m repro fleet run-shard shard-0.json
+--cache-dir cache0``) is the unit of multi-host distribution: ship the
+manifest to any host with this library installed, run it, and ship the
+resulting cache directory back.  Everything flows through the existing
+:class:`~repro.core.runner.ExecutionBackend` machinery - the worker adds
+only validation (manifest schema, cache-schema, and per-spec key
+recomputation, so library version skew is caught before burning compute)
+and a completion receipt recording the executed keys and
+:class:`~repro.core.runner.RunnerStats`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.cache import CACHE_SCHEMA_VERSION, TrialCache, trial_cache_key
+from ..core.runner import ExecutionBackend, RunnerStats, build_backend
+from .plan import (
+    MANIFEST_SCHEMA_VERSION,
+    FleetError,
+    load_manifest,
+    spec_from_json,
+)
+
+#: Receipt filename inside a shard's cache directory.  The cache treats
+#: only ``<64-hex>.json`` files as entries, so the receipt can live
+#: alongside them and travel with the directory.
+RECEIPT_FILENAME = "shard-receipt.json"
+
+
+@dataclass
+class ShardReceipt:
+    """Proof that one shard completed, with provenance and counters."""
+
+    plan_id: str
+    shard_index: int
+    num_shards: int
+    cache_schema: int
+    completed_keys: List[str] = field(default_factory=list)
+    stats: RunnerStats = field(default_factory=RunnerStats)
+
+    def to_json(self) -> Dict:
+        """Schema-versioned receipt payload, round-trippable via from_json."""
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "kind": "shard-receipt",
+            "plan_id": self.plan_id,
+            "shard_index": self.shard_index,
+            "num_shards": self.num_shards,
+            "cache_schema": self.cache_schema,
+            "completed_keys": list(self.completed_keys),
+            "stats": self.stats.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ShardReceipt":
+        """Load a receipt, ignoring unknown keys (forward compatibility)."""
+        return cls(
+            plan_id=payload["plan_id"],
+            shard_index=payload["shard_index"],
+            num_shards=payload["num_shards"],
+            cache_schema=payload["cache_schema"],
+            completed_keys=list(payload.get("completed_keys", [])),
+            stats=RunnerStats.from_json(payload.get("stats", {})),
+        )
+
+    @classmethod
+    def load(cls, cache_dir: Union[str, Path]) -> "ShardReceipt":
+        path = Path(cache_dir) / RECEIPT_FILENAME
+        if not path.exists():
+            raise FleetError(
+                f"no {RECEIPT_FILENAME} in {cache_dir} - shard incomplete "
+                "or not a shard cache directory"
+            )
+        return cls.from_json(json.loads(path.read_text()))
+
+    def write(self, cache_dir: Union[str, Path]) -> Path:
+        """Write the receipt into ``cache_dir`` so it ships with the cache."""
+        path = Path(cache_dir) / RECEIPT_FILENAME
+        path.write_text(json.dumps(self.to_json(), indent=1))
+        return path
+
+
+def run_shard(
+    manifest: Union[Dict, str, Path],
+    cache_dir: Union[str, Path],
+    backend: Optional[ExecutionBackend] = None,
+    backend_kind: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache_max_bytes: Optional[int] = None,
+) -> ShardReceipt:
+    """Execute one shard manifest into ``cache_dir``; write the receipt.
+
+    The manifest's specs run through an execution backend wired to a
+    :class:`TrialCache` over ``cache_dir`` (so re-running an interrupted
+    shard resumes from what it already simulated).  Each spec's cache key
+    is recomputed and checked against the manifest before anything runs -
+    a mismatch means the planning and executing hosts disagree about
+    trial semantics, which would poison the merge.
+
+    ``cache_max_bytes`` enables LRU eviction on the shard cache; note a
+    cap smaller than the shard's own output will surface as gaps at merge
+    time (the receipt still lists every completed key).
+    """
+    if not isinstance(manifest, dict):
+        manifest = load_manifest(manifest)
+    if manifest.get("cache_schema") != CACHE_SCHEMA_VERSION:
+        raise FleetError(
+            f"manifest cache schema {manifest.get('cache_schema')!r} != "
+            f"this library's {CACHE_SCHEMA_VERSION} - re-plan with a "
+            "matching version"
+        )
+    specs = []
+    for entry in manifest["trials"]:
+        spec, expected_key = spec_from_json(entry)
+        actual_key = trial_cache_key(spec)
+        if actual_key != expected_key:
+            raise FleetError(
+                "cache-key mismatch for seed "
+                f"{spec.seed} ({'+'.join(spec.service_ids)}): manifest "
+                f"says {expected_key[:12]}..., this library computes "
+                f"{actual_key[:12]}... - planner/worker version skew"
+            )
+        specs.append(spec)
+    cache = TrialCache(Path(cache_dir), max_bytes=cache_max_bytes)
+    if backend is None:
+        backend = build_backend(backend_kind, workers, cache=cache)
+    elif backend.cache is None:
+        backend.cache = cache
+    backend.run(specs)
+    receipt = ShardReceipt(
+        plan_id=manifest["plan_id"],
+        shard_index=manifest["shard_index"],
+        num_shards=manifest["num_shards"],
+        cache_schema=manifest["cache_schema"],
+        completed_keys=[entry["cache_key"] for entry in manifest["trials"]],
+        stats=backend.stats,
+    )
+    receipt.write(cache_dir)
+    return receipt

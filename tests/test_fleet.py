@@ -1,0 +1,534 @@
+"""repro.fleet: sharded planning, workers, cache merge, report assembly."""
+
+import json
+import os
+
+import pytest
+
+from repro import units
+from repro.config import (
+    ExperimentConfig,
+    TrialPolicyConfig,
+    highly_constrained,
+)
+from repro.core.cache import CACHE_SCHEMA_VERSION, TrialCache
+from repro.core.runner import (
+    AsyncioBackend,
+    InlineBackend,
+    build_backend,
+)
+from repro.core.watchdog import Prudentia
+from repro.fleet import (
+    FleetError,
+    FleetPlan,
+    ShardReceipt,
+    assemble_reports,
+    assemble_sweep,
+    load_plan,
+    merge_shards,
+    plan_cycle,
+    plan_sweep,
+    run_shard,
+    shard_for_key,
+)
+from repro.fleet.worker import RECEIPT_FILENAME
+from repro.services.catalog import default_catalog
+
+CATALOG = default_catalog()
+FAST = ExperimentConfig().scaled(10)
+NET = highly_constrained()
+IDS = ["iperf_cubic", "iperf_reno"]
+
+
+def small_plan(num_shards=2, trials=2, include_self_pairs=False, ids=None):
+    return plan_cycle(
+        ids or IDS,
+        [NET],
+        FAST,
+        trials_per_pair=trials,
+        num_shards=num_shards,
+        base_seed=7,
+        include_self_pairs=include_self_pairs,
+    )
+
+
+def single_host_watchdog(trials=2):
+    return Prudentia(
+        networks=[NET],
+        experiment_config=FAST,
+        policy_overrides={
+            NET.bandwidth_bps: TrialPolicyConfig(
+                min_trials=trials,
+                max_trials=trials,
+                batch_size=trials,
+                ci_halfwidth_bps=units.mbps(1e9),
+            )
+        },
+        base_seed=7,
+    )
+
+
+class TestShardPlanning:
+    def test_plan_is_deterministic(self):
+        """Planning twice yields the same id, keys, and order."""
+        a, b = small_plan(), small_plan()
+        assert a.plan_id == b.plan_id
+        assert a.expected_keys() == b.expected_keys()
+        assert [t.spec for t in a.trials] == [t.spec for t in b.trials]
+
+    def test_same_matrix_regardless_of_shard_count(self):
+        """The planned work is identical however wide the fleet is -
+        only the partition changes."""
+        two, three = small_plan(num_shards=2), small_plan(num_shards=3)
+        assert two.plan_id == three.plan_id
+        assert two.expected_keys() == three.expected_keys()
+
+    def test_partition_stable_under_replanning(self):
+        """Growing the service set must not move existing keys between
+        shards (hash partitioning by content key)."""
+        before = small_plan(num_shards=4)
+        after = small_plan(
+            num_shards=4, ids=IDS + ["iperf_bbr"]
+        )
+        shard_of = {t.cache_key: t.shard for t in after.trials}
+        for trial in before.trials:
+            assert shard_of[trial.cache_key] == trial.shard
+
+    def test_manifests_partition_the_plan(self):
+        """Shard manifests are disjoint and cover the plan exactly."""
+        plan = small_plan(num_shards=3, include_self_pairs=True)
+        seen = []
+        for shard in range(3):
+            manifest = plan.manifest_for(shard)
+            for entry in manifest["trials"]:
+                assert shard_for_key(entry["cache_key"], 3) == shard
+                seen.append(entry["cache_key"])
+        assert sorted(seen) == sorted(plan.expected_keys())
+        assert len(set(seen)) == len(seen)
+
+    def test_plan_round_trips_and_ignores_unknown_keys(self):
+        plan = small_plan()
+        payload = json.loads(json.dumps(plan.to_json()))
+        payload["added_in_a_future_schema"] = True
+        restored = FleetPlan.from_json(payload)
+        assert restored.plan_id == plan.plan_id
+        assert [t.spec for t in restored.trials] == [
+            t.spec for t in plan.trials
+        ]
+
+    def test_plan_rejects_schema_skew(self):
+        payload = small_plan().to_json()
+        payload["schema"] = 999
+        with pytest.raises(FleetError, match="schema"):
+            FleetPlan.from_json(payload)
+
+    def test_plan_rejects_edited_trials(self):
+        """A plan whose trial list no longer matches its stated id is
+        refused (tampering or version skew)."""
+        payload = small_plan().to_json()
+        payload["trials"] = payload["trials"][:-1]
+        with pytest.raises(FleetError, match="plan_id mismatch"):
+            FleetPlan.from_json(payload)
+
+    def test_cycle_plan_matches_single_host_trial_list(self):
+        """The planner enumerates exactly the specs a fixed-policy
+        single-host cycle would execute, in the same order."""
+        from repro.core.scheduler import fixed_trial_scheduler
+
+        plan = small_plan(include_self_pairs=True)
+        scheduler = fixed_trial_scheduler(
+            IDS, 2, include_self_pairs=True, base_seed=7
+        )
+        assert [t.spec for t in plan.trials] == scheduler.next_batch(
+            NET, FAST
+        )
+
+
+class TestShardExecutionMergeAssembly:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        """Run the full 2-shard pipeline once for this class."""
+        root = tmp_path_factory.mktemp("fleet")
+        plan = small_plan(num_shards=2, include_self_pairs=True)
+        plan.write(root / "plan")
+        shard_dirs = []
+        receipts = []
+        for shard in range(2):
+            cache_dir = root / f"shard{shard}"
+            receipts.append(
+                run_shard(root / "plan" / f"shard-{shard}.json", cache_dir)
+            )
+            shard_dirs.append(cache_dir)
+        merged = root / "merged"
+        merge_report = merge_shards(
+            load_plan(root / "plan" / "plan.json"), shard_dirs, merged
+        )
+        return plan, shard_dirs, merged, receipts, merge_report
+
+    def test_receipts_record_completion(self, pipeline):
+        plan, shard_dirs, _merged, receipts, _report = pipeline
+        for shard, receipt in enumerate(receipts):
+            assert receipt.plan_id == plan.plan_id
+            assert sorted(receipt.completed_keys) == sorted(
+                t.cache_key for t in plan.shard_trials(shard)
+            )
+            assert receipt.stats.trials_run == len(receipt.completed_keys)
+            reloaded = ShardReceipt.load(shard_dirs[shard])
+            assert reloaded.to_json() == receipt.to_json()
+
+    def test_merge_covers_plan(self, pipeline):
+        plan, _dirs, _merged, _receipts, report = pipeline
+        assert report.entries_merged == len(plan.trials)
+        assert report.gaps == []
+        assert report.duplicates == 0
+        assert report.stats.trials_run == len(plan.trials)
+
+    def test_assembled_report_bit_identical_to_single_host(self, pipeline):
+        """Acceptance: 2-shard run + merge == unsharded run, with zero
+        re-simulation during assembly."""
+        plan, _dirs, merged, _receipts, _report = pipeline
+        fleet_report = assemble_reports(plan, TrialCache(merged))[0]
+        assert fleet_report.runner_stats.trials_run == 0
+        assert fleet_report.runner_stats.cache_hits == len(plan.trials)
+
+        watchdog = single_host_watchdog()
+        watchdog.run_cycle(service_ids=IDS)
+        single = watchdog.report(NET, service_ids=IDS)
+
+        assert fleet_report.render_heatmap() == single.render_heatmap()
+        assert fleet_report.heatmap() == single.heatmap()
+        assert (
+            fleet_report.losing_service_stats()
+            == single.losing_service_stats()
+        )
+        # Bit-identical all the way down: the reassembled store holds the
+        # same trials, in the same order, serialising to the same bytes.
+        assert [r.to_json() for r in fleet_report.store.all_results()] == [
+            r.to_json() for r in single.store.all_results()
+        ]
+        fleet_json = fleet_report.to_json()
+        single_json = single.to_json()
+        fleet_json.pop("runner_stats")
+        single_json.pop("runner_stats")
+        assert fleet_json == single_json
+
+    def test_merge_rejects_cache_schema_mismatch(self, pipeline, tmp_path):
+        plan, shard_dirs, _merged, _receipts, _report = pipeline
+        receipt_path = shard_dirs[0] / RECEIPT_FILENAME
+        original = receipt_path.read_text()
+        payload = json.loads(original)
+        payload["cache_schema"] = CACHE_SCHEMA_VERSION + 1
+        receipt_path.write_text(json.dumps(payload))
+        try:
+            with pytest.raises(FleetError, match="cache schema"):
+                merge_shards(plan, shard_dirs, tmp_path / "m")
+        finally:
+            receipt_path.write_text(original)
+
+    def test_merge_rejects_foreign_plan_receipt(self, pipeline, tmp_path):
+        plan, shard_dirs, _merged, _receipts, _report = pipeline
+        receipt_path = shard_dirs[0] / RECEIPT_FILENAME
+        original = receipt_path.read_text()
+        payload = json.loads(original)
+        payload["plan_id"] = "0" * 64
+        receipt_path.write_text(json.dumps(payload))
+        try:
+            with pytest.raises(FleetError, match="belongs to plan"):
+                merge_shards(plan, shard_dirs, tmp_path / "m")
+        finally:
+            receipt_path.write_text(original)
+
+    def test_merge_detects_gaps(self, pipeline, tmp_path):
+        plan, shard_dirs, _merged, _receipts, _report = pipeline
+        partial = [d for d in shard_dirs[:1]]
+        with pytest.raises(FleetError, match="uncovered"):
+            merge_shards(plan, partial, tmp_path / "m1")
+        report = merge_shards(
+            plan, partial, tmp_path / "m2", allow_gaps=True
+        )
+        assert sorted(report.gaps) == sorted(
+            t.cache_key for t in plan.shard_trials(1)
+        )
+
+    def test_merge_rejects_divergent_duplicates(self, pipeline, tmp_path):
+        """Deterministic trials can never legitimately differ, so a key
+        present twice with different bytes aborts the merge."""
+        plan, shard_dirs, _merged, _receipts, _report = pipeline
+        key = plan.shard_trials(0)[0].cache_key
+        evil = tmp_path / "evil"
+        evil.mkdir()
+        payload = json.loads((shard_dirs[0] / f"{key}.json").read_text())
+        payload["utilization"] = -1.0
+        (evil / f"{key}.json").write_text(json.dumps(payload))
+        with pytest.raises(FleetError, match="divergent duplicate"):
+            merge_shards(
+                plan,
+                list(shard_dirs) + [evil],
+                tmp_path / "m",
+                require_receipts=False,
+            )
+
+    def test_identical_duplicates_are_deduplicated(self, pipeline, tmp_path):
+        plan, shard_dirs, _merged, _receipts, _report = pipeline
+        report = merge_shards(
+            plan,
+            list(shard_dirs) + [shard_dirs[0]],
+            tmp_path / "m",
+            require_receipts=False,
+        )
+        assert report.duplicates == len(plan.shard_trials(0))
+        assert report.gaps == []
+
+    def test_assemble_refuses_incomplete_cache(self, pipeline):
+        plan, shard_dirs, _merged, _receipts, _report = pipeline
+        with pytest.raises(FleetError, match="missing"):
+            assemble_reports(plan, TrialCache(shard_dirs[0]))
+
+    def test_worker_rejects_key_skew(self, pipeline, tmp_path):
+        """A manifest whose expected keys this library cannot reproduce
+        (planner/worker version skew) is refused before any simulation."""
+        plan, _dirs, _merged, _receipts, _report = pipeline
+        manifest = plan.manifest_for(0)
+        manifest["trials"][0]["cache_key"] = "f" * 64
+        with pytest.raises(FleetError, match="version skew"):
+            run_shard(manifest, tmp_path / "c")
+
+    def test_worker_rejects_cache_schema_skew(self, pipeline, tmp_path):
+        plan, _dirs, _merged, _receipts, _report = pipeline
+        manifest = plan.manifest_for(0)
+        manifest["cache_schema"] = CACHE_SCHEMA_VERSION + 1
+        with pytest.raises(FleetError, match="re-plan"):
+            run_shard(manifest, tmp_path / "c")
+
+    def test_rerun_shard_is_all_cache_hits(self, pipeline):
+        plan, shard_dirs, _merged, _receipts, _report = pipeline
+        manifest = plan.manifest_for(0)
+        receipt = run_shard(manifest, shard_dirs[0])
+        assert receipt.stats.trials_run == 0
+        assert receipt.stats.cache_hits == len(manifest["trials"])
+
+
+class TestSweepPlans:
+    def test_sharded_sweep_matches_local_sweep(self, tmp_path):
+        from repro.core.sweep import bandwidth_sweep
+
+        plan = plan_sweep(
+            "bandwidth",
+            "iperf_cubic",
+            "iperf_bbr",
+            [4.0, 8.0],
+            FAST,
+            num_shards=2,
+            trials=1,
+            base_seed=3,
+        )
+        plan.write(tmp_path / "plan")
+        dirs = []
+        for shard in range(2):
+            cache_dir = tmp_path / f"s{shard}"
+            run_shard(tmp_path / "plan" / f"shard-{shard}.json", cache_dir)
+            dirs.append(cache_dir)
+        merged = tmp_path / "merged"
+        merge_shards(plan, dirs, merged)
+        points = assemble_sweep(plan, TrialCache(merged))
+
+        local = bandwidth_sweep(
+            CATALOG.get("iperf_cubic"),
+            CATALOG.get("iperf_bbr"),
+            [4.0, 8.0],
+            FAST,
+            trials=1,
+            base_seed=3,
+        )
+        assert points == local
+
+
+class TestCacheEviction:
+    def _fill(self, cache, seeds):
+        backend = InlineBackend(catalog=CATALOG, cache=cache)
+        from repro.core.runner import TrialSpec
+
+        specs = [
+            TrialSpec.pair("iperf_cubic", "iperf_reno", NET, FAST, seed=s)
+            for s in seeds
+        ]
+        backend.run(specs)
+        return specs
+
+    def test_evict_drops_lru_first(self, tmp_path):
+        """touch-on-get makes reads refresh recency: the evicted entry
+        is the least-recently-*used*, not the least-recently-written."""
+        cache = TrialCache(tmp_path)
+        specs = self._fill(cache, seeds=[1, 2, 3])
+        paths = sorted(tmp_path.glob("*.json"), key=lambda p: p.stat().st_mtime_ns)
+        assert len(paths) == 3
+        # Backdate mtimes to a known order: seed order 1 < 2 < 3.
+        from repro.core.cache import trial_cache_key
+
+        for age, spec in enumerate(specs):
+            path = tmp_path / f"{trial_cache_key(spec)}.json"
+            os.utime(path, ns=(10 ** 9 * (age + 1),) * 2)
+        # Read the oldest entry: it becomes the most recently used.
+        assert cache.get(specs[0]) is not None
+        per_entry = (tmp_path / f"{trial_cache_key(specs[0])}.json").stat().st_size
+        evicted = cache.evict(max_bytes=int(per_entry * 2.5))
+        assert evicted == [trial_cache_key(specs[1])]
+        assert cache.contains_key(trial_cache_key(specs[0]))
+        assert not cache.contains_key(trial_cache_key(specs[1]))
+
+    def test_put_enforces_cap(self, tmp_path):
+        probe = TrialCache(tmp_path / "probe")
+        self._fill(probe, seeds=[1])
+        per_entry = probe.size_bytes()
+
+        cache = TrialCache(tmp_path / "capped", max_bytes=per_entry * 2)
+        self._fill(cache, seeds=[1, 2, 3, 4])
+        assert cache.size_bytes() <= per_entry * 2
+        assert cache.evictions >= 2
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        self._fill(cache, seeds=[1, 2])
+        assert cache.evict() == []
+        assert len(cache) == 2
+
+    def test_receipt_not_treated_as_entry(self, tmp_path):
+        """Non-key files (receipts, notes) in a cache dir are ignored by
+        iteration, len, size accounting, and clear()."""
+        cache = TrialCache(tmp_path)
+        self._fill(cache, seeds=[5])
+        (tmp_path / RECEIPT_FILENAME).write_text("{}")
+        fresh = TrialCache(tmp_path)
+        assert len(fresh) == 1
+        assert len(list(fresh.results())) == 1
+        fresh.clear()
+        assert (tmp_path / RECEIPT_FILENAME).exists()
+
+    def test_run_shard_cache_cap_produces_gaps_not_corruption(self, tmp_path):
+        """An undersized shard cache evicts its own output; the merge
+        then reports the loss as gaps instead of assembling silently."""
+        plan = small_plan(num_shards=1, include_self_pairs=True)
+        plan.write(tmp_path / "plan")
+        cache_dir = tmp_path / "c"
+        receipt = run_shard(
+            plan.manifest_for(0), cache_dir, cache_max_bytes=1
+        )
+        assert receipt.stats.trials_run == len(plan.trials)
+        report = merge_shards(
+            plan, [cache_dir], tmp_path / "m", allow_gaps=True
+        )
+        assert len(report.gaps) >= len(plan.trials) - 1
+        with pytest.raises(FleetError, match="uncovered"):
+            merge_shards(plan, [cache_dir], tmp_path / "m2")
+
+
+class TestAsyncioBackend:
+    def test_bit_identical_to_inline(self):
+        from repro.core.runner import TrialSpec
+
+        trials = [
+            TrialSpec.pair("iperf_cubic", "iperf_reno", NET, FAST, seed=s)
+            for s in (1, 2, 3)
+        ]
+        inline = InlineBackend(catalog=CATALOG).run(trials)
+        async_results = AsyncioBackend(
+            max_concurrency=2, catalog=CATALOG
+        ).run(trials)
+        assert [r.to_json() for r in inline] == [
+            r.to_json() for r in async_results
+        ]
+
+    def test_build_backend_kinds(self):
+        from repro.core.runner import (
+            InlineBackend as IB,
+            ProcessPoolBackend as PB,
+        )
+
+        assert isinstance(build_backend(), IB)
+        assert isinstance(build_backend(workers=2), PB)
+        assert isinstance(build_backend("async", workers=3), AsyncioBackend)
+        assert build_backend("async", workers=3).max_concurrency == 3
+        assert isinstance(build_backend("inline", workers=2), IB)
+        with pytest.raises(ValueError):
+            build_backend("quantum")
+
+    def test_async_backend_caches(self):
+        cache = TrialCache()
+        backend = AsyncioBackend(catalog=CATALOG, cache=cache)
+        from repro.core.runner import TrialSpec
+
+        spec = TrialSpec.pair("iperf_cubic", "iperf_reno", NET, FAST, seed=9)
+        backend.run([spec])
+        backend.run([spec])
+        assert backend.stats.trials_run == 1
+        assert backend.stats.cache_hits == 1
+
+
+class TestReportStats:
+    def test_watchdog_report_carries_runner_stats(self):
+        watchdog = single_host_watchdog()
+        watchdog.run_cycle(service_ids=IDS, include_self_pairs=False)
+        report = watchdog.report(NET, service_ids=IDS)
+        assert report.runner_stats is watchdog.last_cycle_stats
+        payload = report.to_json()
+        assert payload["runner_stats"]["trials_run"] == 2
+        assert payload["heatmap"]["iperf_cubic|iperf_reno"] is not None
+
+    def test_runner_stats_round_trip(self):
+        from repro.core.runner import RunnerStats
+
+        stats = RunnerStats(trials_run=3, cache_hits=2, wall_clock_sec=1.5)
+        payload = stats.to_json()
+        payload["future_counter"] = 9
+        assert RunnerStats.from_json(payload) == stats
+
+
+class TestFleetCLI:
+    def test_end_to_end_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_dir = tmp_path / "plan"
+        args = [
+            "fleet", "plan", "cycle",
+            "--services", "iperf_cubic", "iperf_reno",
+            "--no-self-pairs",
+            "--trials", "1", "--duration", "8",
+            "--shards", "2", "--out-dir", str(plan_dir),
+        ]
+        assert main(args) == 0
+        for shard in range(2):
+            assert main([
+                "fleet", "run-shard", str(plan_dir / f"shard-{shard}.json"),
+                "--cache-dir", str(tmp_path / f"c{shard}"),
+            ]) == 0
+        assert main([
+            "fleet", "merge", "--plan", str(plan_dir / "plan.json"),
+            "--into", str(tmp_path / "merged"),
+            str(tmp_path / "c0"), str(tmp_path / "c1"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "fleet", "report", "--plan", str(plan_dir / "plan.json"),
+            "--cache-dir", str(tmp_path / "merged"), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runner_stats"]["trials_run"] == 0
+        assert payload["runner_stats"]["cache_hits"] == 1
+
+    def test_cli_merge_error_is_exit_code_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_dir = tmp_path / "plan"
+        main([
+            "fleet", "plan", "cycle",
+            "--services", "iperf_cubic", "iperf_reno",
+            "--no-self-pairs", "--trials", "1", "--duration", "8",
+            "--shards", "2", "--out-dir", str(plan_dir),
+        ])
+        (tmp_path / "empty").mkdir()
+        code = main([
+            "fleet", "merge", "--plan", str(plan_dir / "plan.json"),
+            "--into", str(tmp_path / "merged"), str(tmp_path / "empty"),
+        ])
+        assert code == 1
+        assert "fleet error" in capsys.readouterr().err
