@@ -1,0 +1,20 @@
+"""Hot-path benchmark entry point (thin wrapper over ``repro.bench``).
+
+Kept under ``benchmarks/`` alongside the figure-regeneration harness so
+the benchmark suite is discoverable in one place; the implementation
+lives in :mod:`repro.bench` so the ``repro bench`` CLI subcommand can use
+the exact same code.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+
+which is equivalent to ``PYTHONPATH=src python -m repro bench [--quick]``.
+"""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Tracked hot-path benchmark: simulated-packet throughput of the netsim.
+
+Measures how fast the simulator chews through the canonical pair trials -
+``sim-sec/wall-sec`` and simulated ``pkts/sec`` - for four scenarios
+spanning both Prudentia network settings and both trace modes:
+
+* 8 Mbps / 128-packet queue (``highly_constrained``), trace off / on
+* 50 Mbps / 1024-packet queue (``moderately_constrained``), trace off / on
+
+Each scenario is an ``iperf_cubic`` vs ``iperf_bbr`` pair trial at a fixed
+seed, run through the same :func:`repro.core.experiment.run_trial_artifacts`
+code path as real experiments, repeated a few times with the best (least
+noisy) repetition kept.
+
+Run via the CLI (writes ``BENCH_netsim.json`` at the repo root)::
+
+    PYTHONPATH=src python -m repro bench            # full, ~1 min
+    PYTHONPATH=src python -m repro bench --quick    # CI smoke, ~10 s
+
+or directly: ``PYTHONPATH=src python benchmarks/bench_hotpath.py`` (a thin
+wrapper over this module).
+
+The committed ``BENCH_netsim.json`` is the tracked baseline; CI's
+``bench-smoke`` job re-runs ``--quick`` and reports the delta without
+failing the build (wall-clock numbers are hardware-dependent).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from .config import (
+    ExperimentConfig,
+    NetworkConfig,
+    highly_constrained,
+    moderately_constrained,
+)
+from .core.experiment import run_trial_artifacts
+from .services.catalog import default_catalog
+
+#: Scenario name -> (network factory, trace packets).
+SCENARIOS = {
+    "pair-8mbps-trace-off": (highly_constrained, False),
+    "pair-8mbps-trace-on": (highly_constrained, True),
+    "pair-50mbps-trace-off": (moderately_constrained, False),
+    "pair-50mbps-trace-on": (moderately_constrained, True),
+}
+
+#: The two iperf-style bulk services every scenario races.
+PAIR = ("iperf_cubic", "iperf_bbr")
+
+FULL_DURATION_SEC = 15.0
+FULL_REPEATS = 3
+QUICK_DURATION_SEC = 3.0
+QUICK_REPEATS = 1
+
+
+def _run_once(
+    network: NetworkConfig, duration_sec: float, seed: int, trace: bool
+) -> Dict[str, float]:
+    """One timed pair trial; returns wall time and simulated packet count."""
+    catalog = default_catalog()
+    specs = [catalog.get(sid) for sid in PAIR]
+    config = ExperimentConfig().scaled(duration_sec)
+    start = time.perf_counter()
+    _result, testbed = run_trial_artifacts(
+        specs, network, config, seed=seed, trace_packets=trace
+    )
+    wall = time.perf_counter() - start
+    packets = sum(
+        connection.packets_sent
+        for service in testbed.services
+        for connection in service.connections
+    )
+    return {"wall_sec": wall, "packets": packets}
+
+
+def run_benchmark(
+    quick: bool = False,
+    duration_sec: Optional[float] = None,
+    repeats: Optional[int] = None,
+    seed: int = 1,
+    scenarios: Optional[List[str]] = None,
+) -> Dict:
+    """Run the scenario suite; returns the BENCH_netsim.json payload."""
+    if duration_sec is None:
+        duration_sec = QUICK_DURATION_SEC if quick else FULL_DURATION_SEC
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    names = scenarios if scenarios is not None else list(SCENARIOS)
+    out: Dict = {
+        "schema": 1,
+        "suite": "netsim-hotpath",
+        "quick": quick,
+        "duration_sim_sec": duration_sec,
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "scenarios": {},
+    }
+    for name in names:
+        network_factory, trace = SCENARIOS[name]
+        network = network_factory()
+        best: Optional[Dict[str, float]] = None
+        for _ in range(repeats):
+            sample = _run_once(network, duration_sec, seed, trace)
+            if best is None or sample["wall_sec"] < best["wall_sec"]:
+                best = sample
+        wall = best["wall_sec"]
+        out["scenarios"][name] = {
+            "bandwidth_mbps": network.bandwidth_bps / 1e6,
+            "queue_packets": network.queue_packets,
+            "trace": trace,
+            "packets": best["packets"],
+            "wall_sec": round(wall, 4),
+            "pkts_per_sec": round(best["packets"] / wall, 1),
+            "sim_sec_per_wall_sec": round(duration_sec / wall, 2),
+        }
+    return out
+
+
+def compare(baseline: Dict, current: Dict) -> List[str]:
+    """Human-readable per-scenario deltas of ``current`` vs ``baseline``.
+
+    Used by CI's non-blocking bench-smoke job; tolerant of scenario-set
+    and schema drift (missing scenarios are reported, not fatal).
+    """
+    lines = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name, cur in current.get("scenarios", {}).items():
+        base = base_scenarios.get(name)
+        if base is None or not base.get("pkts_per_sec"):
+            lines.append(f"{name}: no baseline")
+            continue
+        ratio = cur["pkts_per_sec"] / base["pkts_per_sec"]
+        lines.append(
+            f"{name}: {cur['pkts_per_sec']:.0f} pkts/s "
+            f"vs baseline {base['pkts_per_sec']:.0f} ({ratio:.2f}x)"
+        )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """Standalone entry point (``benchmarks/bench_hotpath.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--output", default="BENCH_netsim.json")
+    args = parser.parse_args(argv)
+    payload = run_benchmark(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    for name, row in payload["scenarios"].items():
+        print(
+            f"{name}: {row['pkts_per_sec']:.0f} pkts/s, "
+            f"{row['sim_sec_per_wall_sec']:.1f} sim-sec/wall-sec"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -11,6 +11,8 @@ watchdog is driven:
 - ``sweep``     - fairness vs bandwidth/buffer/RTT for one pair
 - ``fleet``     - sharded multi-host execution: plan / run-shard /
   merge / report (see :mod:`repro.fleet.cli`)
+- ``bench``     - hot-path benchmark suite, writing ``BENCH_netsim.json``
+  (see :mod:`repro.bench`)
 """
 
 from __future__ import annotations
@@ -254,6 +256,42 @@ def cmd_cycle(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the netsim hot-path benchmark suite and write BENCH_netsim.json."""
+    from .bench import compare, run_benchmark
+
+    payload = run_benchmark(
+        quick=args.quick,
+        duration_sec=args.duration,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    for name, row in payload["scenarios"].items():
+        print(
+            f"{name:<24} {row['pkts_per_sec']:>9,.0f} pkts/s  "
+            f"{row['sim_sec_per_wall_sec']:>6.1f} sim-sec/wall-sec  "
+            f"({row['packets']:,} pkts in {row['wall_sec']:.2f}s)"
+        )
+    print(f"wrote {args.output}")
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"baseline {args.baseline!r} unreadable: {exc}",
+                  file=sys.stderr)
+            return 0  # non-blocking by design
+        for line in compare(baseline, payload):
+            print(f"  delta {line}")
+    return 0
+
+
 def cmd_classify(args) -> int:
     """Classify a named congestion controller."""
     factory = CCA_FACTORIES.get(args.cca)
@@ -335,6 +373,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_runner_args(p)
     p.set_defaults(func=cmd_cycle)
+
+    p = sub.add_parser(
+        "bench", help="run the netsim hot-path benchmark suite"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="short CI-smoke variant (3 sim-sec, 1 repeat)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None,
+        help="sim-seconds per scenario (default: 15, or 3 with --quick)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=None,
+        help="repetitions per scenario, best kept (default: 3, or 1 "
+             "with --quick)",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--output", default="BENCH_netsim.json",
+        help="result file (default: BENCH_netsim.json in the CWD)",
+    )
+    p.add_argument(
+        "--baseline", default=None,
+        help="print non-blocking per-scenario deltas vs this baseline "
+             "file (e.g. the committed BENCH_netsim.json)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("classify", help="classify a congestion controller")
     p.add_argument("cca", help=f"one of {sorted(CCA_FACTORIES)}")

@@ -132,7 +132,7 @@ def _allocation_caps(
     return spec.max_throughput_bps
 
 
-def run_service_specs(
+def run_trial_artifacts(
     specs: Sequence[ServiceSpec],
     network: NetworkConfig,
     config: ExperimentConfig,
@@ -140,7 +140,7 @@ def run_service_specs(
     env: Optional[ClientEnvironment] = None,
     trace_packets: bool = False,
     cap_overrides: Optional[Sequence[Optional[float]]] = None,
-) -> ExperimentResult:
+) -> "tuple[ExperimentResult, Testbed]":
     """The single trial core: N services contend once through the testbed.
 
     Solo is one service, a pair is two, N-way contention (the paper's
@@ -150,6 +150,11 @@ def run_service_specs(
     public ``run_*_experiment`` wrapper and every execution backend
     funnels through here, so results are identical no matter which entry
     point or backend ran the trial.
+
+    Returns both the result and the finished :class:`Testbed`, so callers
+    that need the raw artifacts (packet trace, queue log - the golden
+    bit-identity test and the benchmark suite) share this exact code path
+    with the ordinary result-only wrappers.
     """
     if len(specs) < 1:
         raise ValueError("need at least one service")
@@ -179,7 +184,7 @@ def run_service_specs(
     allocation = max_min_allocation(network.bandwidth_bps, caps)
     ids = [service.service_id for service in services]
     throughput = testbed.throughput_bps()
-    return ExperimentResult(
+    result = ExperimentResult(
         contender_id=ids[0],
         incumbent_id=ids[-1],
         bandwidth_bps=network.bandwidth_bps,
@@ -200,6 +205,29 @@ def run_service_specs(
         utilization=testbed.utilization(),
         external_loss_fraction=testbed.external_loss_fraction(),
     )
+    return result, testbed
+
+
+def run_service_specs(
+    specs: Sequence[ServiceSpec],
+    network: NetworkConfig,
+    config: ExperimentConfig,
+    seed: int = 0,
+    env: Optional[ClientEnvironment] = None,
+    trace_packets: bool = False,
+    cap_overrides: Optional[Sequence[Optional[float]]] = None,
+) -> ExperimentResult:
+    """Result-only wrapper over :func:`run_trial_artifacts`."""
+    result, _testbed = run_trial_artifacts(
+        specs,
+        network,
+        config,
+        seed=seed,
+        env=env,
+        trace_packets=trace_packets,
+        cap_overrides=cap_overrides,
+    )
+    return result
 
 
 def run_multi_experiment(

@@ -1,15 +1,26 @@
 """Discrete-event engine with an integer-microsecond clock.
 
-Events are ``(time, sequence, callback)`` triples in a binary heap; the
-sequence number makes ordering of same-time events deterministic (FIFO in
-scheduling order), which keeps whole simulations bit-reproducible for a
+Events are ``(time, sequence, callback, arg)`` 4-tuples in a binary heap;
+the sequence number makes ordering of same-time events deterministic (FIFO
+in scheduling order), which keeps whole simulations bit-reproducible for a
 given seed.
+
+The 4-tuple form exists for the simulator hot path: schedulers pass a
+pre-existing bound method plus its argument (typically a
+:class:`~repro.netsim.packet.Packet`) instead of allocating a fresh
+closure per event.  At hundreds of thousands of packets per trial the
+per-packet lambda allocations used to be a measurable slice of the event
+loop; see DESIGN.md ("simulator hot path").
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Sentinel meaning "callback takes no argument".  Using an identity-checked
+#: sentinel (rather than ``None``) lets callers schedule ``fn(None)``.
+_NO_ARG = object()
 
 
 class Engine:
@@ -24,23 +35,32 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[int, int, Callable, Any]] = []
         self._seq = 0
         self._running = False
 
-    def schedule(self, delay_usec: int, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay_usec`` microseconds from now."""
+    def schedule(
+        self, delay_usec: int, callback: Callable, arg: Any = _NO_ARG
+    ) -> None:
+        """Run ``callback`` ``delay_usec`` microseconds from now.
+
+        When ``arg`` is given the event dispatches as ``callback(arg)``;
+        pass a bound method plus its operand to avoid allocating a closure
+        per event on hot paths.
+        """
         if delay_usec < 0:
             raise ValueError("cannot schedule into the past")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay_usec, self._seq, callback))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (self.now + delay_usec, seq, callback, arg))
 
-    def schedule_at(self, when_usec: int, callback: Callable[[], None]) -> None:
+    def schedule_at(
+        self, when_usec: int, callback: Callable, arg: Any = _NO_ARG
+    ) -> None:
         """Run ``callback`` at absolute time ``when_usec``."""
         if when_usec < self.now:
             raise ValueError("cannot schedule into the past")
-        self._seq += 1
-        heapq.heappush(self._heap, (when_usec, self._seq, callback))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (when_usec, seq, callback, arg))
 
     def run(self, until_usec: Optional[int] = None) -> None:
         """Process events until the heap drains or the clock passes ``until_usec``.
@@ -49,20 +69,101 @@ class Engine:
         consecutive ``run`` calls resume seamlessly.
         """
         heap = self._heap
+        pop = heapq.heappop
+        no_arg = _NO_ARG
         self._running = True
         try:
-            while heap:
-                when, _seq, callback = heap[0]
-                if until_usec is not None and when > until_usec:
-                    break
-                heapq.heappop(heap)
-                self.now = when
-                callback()
+            if until_usec is None:
+                while heap:
+                    when, _seq, callback, arg = pop(heap)
+                    self.now = when
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
+            else:
+                while heap:
+                    if heap[0][0] > until_usec:
+                        break
+                    when, _seq, callback, arg = pop(heap)
+                    self.now = when
+                    if arg is no_arg:
+                        callback()
+                    else:
+                        callback(arg)
         finally:
             self._running = False
         if until_usec is not None and self.now < until_usec:
             self.now = until_usec
 
+    def timer(self, callback: Callable[[], None]) -> "Timer":
+        """A lazy-cancellation timer handle firing ``callback`` on expiry."""
+        return Timer(self, callback)
+
     def pending(self) -> int:
         """Number of scheduled events not yet run."""
         return len(self._heap)
+
+
+class Timer:
+    """A rearmable deadline with lazy cancellation.
+
+    Retransmission-style timers move their deadline on nearly every ACK.
+    Cancelling/re-pushing a heap entry each time would churn the heap once
+    per packet, so instead the timer keeps **at most one** event in the
+    heap: rearming just updates :attr:`deadline`, and when the (stale)
+    heap event fires early it re-schedules itself at the current deadline
+    instead of invoking the callback.  ``cancel()`` simply clears the
+    deadline; a pending heap event then fires as a no-op.
+
+    Rearming never pushes a second event, even when the new deadline is
+    *earlier* than the pending wakeup: the timer notices the moved
+    deadline only when that wakeup fires, exactly like a kernel RTO whose
+    timer wheel granularity absorbs small backward moves.  (RTO deadlines
+    virtually always move forward; keeping this semantic also preserves
+    bit-identical schedules with the pre-handle implementation.)
+    """
+
+    __slots__ = ("_engine", "_callback", "deadline", "_event_at")
+
+    def __init__(self, engine: Engine, callback: Callable[[], None]) -> None:
+        self._engine = engine
+        self._callback = callback
+        #: Absolute expiry time, or None when cancelled.
+        self.deadline: Optional[int] = None
+        # Time of the single in-heap event, or None when no event pending.
+        self._event_at: Optional[int] = None
+
+    @property
+    def armed(self) -> bool:
+        """True when the timer has a live (non-cancelled) deadline."""
+        return self.deadline is not None
+
+    def schedule_at(self, when_usec: int) -> None:
+        """(Re)arm the timer to expire at absolute time ``when_usec``."""
+        self.deadline = when_usec
+        if self._event_at is None:
+            self._event_at = when_usec
+            self._engine.schedule_at(when_usec, self._fire)
+
+    def schedule(self, delay_usec: int) -> None:
+        """(Re)arm the timer to expire ``delay_usec`` from now."""
+        self.schedule_at(self._engine.now + delay_usec)
+
+    def cancel(self) -> None:
+        """Disarm.  A pending heap event (if any) becomes a no-op."""
+        self.deadline = None
+
+    def _fire(self) -> None:
+        self._event_at = None
+        deadline = self.deadline
+        if deadline is None:
+            return
+        if self._engine.now < deadline:
+            # Superseded: the deadline moved while this event sat in the
+            # heap.  Chase the current deadline with one fresh event.
+            self._event_at = deadline
+            self._engine.schedule_at(deadline, self._fire)
+            return
+        self.deadline = None
+        self._callback()

@@ -3,10 +3,20 @@
 Packets arriving from any server enter the drop-tail queue; a single
 serialiser drains the queue at the configured link rate, then hands each
 packet to its flow's receiver after the downstream propagation delay.
+
+Hot-path note (see DESIGN.md, "simulator hot path"): the serialiser keeps
+exactly one pending event in the engine heap - the finish time of the
+packet currently on the wire - and each ``_finish`` both delivers its
+packet and starts the next serialisation in the same callback frame.
+Successive dequeue times within a busy burst are pure integer arithmetic
+over a per-size serialisation-time cache; no closures, floats, or repeated
+rate conversions per packet.  Events carry the packet as the engine's
+4-tuple ``arg`` so nothing is allocated per event.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, Optional
 
 from .. import units
@@ -37,6 +47,7 @@ class BottleneckLink:
         "busy_usec",
         "_busy",
         "_last_busy_start",
+        "_ser_usec",
     )
 
     def __init__(
@@ -54,18 +65,32 @@ class BottleneckLink:
         self.post_delay_usec = post_delay_usec
         self.queue = queue
         self.trace = trace
-        self.delivered_bytes: Dict[str, int] = {}
+        self.delivered_bytes: Dict[str, int] = defaultdict(int)
         self.busy_usec = 0
         self._busy = False
         self._last_busy_start = 0
+        # size_bytes -> serialisation time in usec.  One or two packet
+        # sizes dominate any trial, so this is effectively a constant fold
+        # of ``units.serialization_time_usec`` for the drain loop.
+        self._ser_usec: Dict[int, int] = {}
+
+    def serialization_usec(self, size_bytes: int) -> int:
+        """Cached integer serialisation time for a packet of this size."""
+        ser = self._ser_usec.get(size_bytes)
+        if ser is None:
+            ser = self._ser_usec[size_bytes] = units.serialization_time_usec(
+                size_bytes, self.rate_bps
+            )
+        return ser
 
     def send(self, packet: Packet) -> None:
         """Packet arrives at the switch; queue it and kick the serialiser."""
         now = self.engine.now
-        accepted = self.queue.offer(packet, now)
-        log = self.queue.log
+        queue = self.queue
+        accepted = queue.offer(packet, now)
+        log = queue.log
         if log is not None:
-            log.maybe_sample(now, self.queue.occupancy)
+            log.maybe_sample(now, len(queue))
         if not accepted:
             packet.flow.on_packet_dropped(packet)
             return
@@ -75,33 +100,51 @@ class BottleneckLink:
             self._serialize_next()
 
     def _serialize_next(self) -> None:
-        packet = self.queue.pop(self.engine.now)
+        """Start serialising the queue head (or go idle)."""
+        now = self.engine.now
+        packet = self.queue.pop(now)
         if packet is None:
             self._busy = False
-            self.busy_usec += self.engine.now - self._last_busy_start
+            self.busy_usec += now - self._last_busy_start
             return
-        ser = units.serialization_time_usec(packet.size_bytes, self.rate_bps)
-        self.engine.schedule(ser, lambda p=packet: self._finish(p))
+        ser = self._ser_usec.get(packet.size_bytes)
+        if ser is None:
+            ser = self.serialization_usec(packet.size_bytes)
+        self.engine.schedule(ser, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
-        service_id = packet.flow.service_id
-        self.delivered_bytes[service_id] = (
-            self.delivered_bytes.get(service_id, 0) + packet.size_bytes
-        )
-        if self.trace is not None:
-            self.trace.record(
-                self.engine.now + self.post_delay_usec,
-                service_id,
-                packet.size_bytes,
-            )
-        if self.post_delay_usec:
-            self.engine.schedule(
-                self.post_delay_usec,
-                lambda p=packet: p.flow.on_packet_arrived(p),
-            )
+        """Packet fully serialised: deliver it and drain the next one.
+
+        This *is* the burst drain loop: while the queue stays non-empty
+        each ``_finish`` immediately computes the next integer dequeue
+        time and schedules the next finish, so a busy burst is a chain of
+        single pre-resolved events with exact per-packet timestamps for
+        the queue-delay accounting.
+        """
+        engine = self.engine
+        now = engine.now
+        flow = packet.flow
+        service_id = flow.service_id
+        size = packet.size_bytes
+        self.delivered_bytes[service_id] += size
+        post = self.post_delay_usec
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.record(now + post, service_id, size)
+        if post:
+            engine.schedule(post, flow.on_packet_arrived, packet)
         else:
-            packet.flow.on_packet_arrived(packet)
-        self._serialize_next()
+            flow.on_packet_arrived(packet)
+        # Drain the next packet in the same frame (dequeue time == now).
+        nxt = self.queue.pop(now)
+        if nxt is None:
+            self._busy = False
+            self.busy_usec += now - self._last_busy_start
+            return
+        ser = self._ser_usec.get(nxt.size_bytes)
+        if ser is None:
+            ser = self.serialization_usec(nxt.size_bytes)
+        engine.schedule(ser, self._finish, nxt)
 
     def utilization(self, window_usec: int) -> float:
         """Fraction of ``window_usec`` worth of capacity actually delivered."""

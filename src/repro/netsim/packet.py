@@ -12,6 +12,12 @@ class Packet:
     hundred thousand of these.  The ``delivered``/``delivered_time`` pair
     carries BBR-style delivery-rate sampling state, snapshotted at send time
     (RFC draft-cheng-iccrg-delivery-rate-estimation).
+
+    ``_in_order``/``_chain_done`` are free-list bookkeeping owned by the
+    sending flow (see ``Connection``): a packet may only be recycled once
+    its network/ACK event chain has completed (``_chain_done``) and no
+    loss-detection structure still holds it (``_in_order``).  They are
+    private to the flow's pool logic and meaningless elsewhere.
     """
 
     __slots__ = (
@@ -27,6 +33,8 @@ class Packet:
         "is_app_limited",
         "arrival_time",
         "dequeue_time",
+        "_in_order",
+        "_chain_done",
     )
 
     def __init__(
@@ -51,6 +59,9 @@ class Packet:
         # Bottleneck bookkeeping, filled by the queue/link.
         self.arrival_time: Optional[int] = None
         self.dequeue_time: Optional[int] = None
+        # Free-list bookkeeping, owned by the sending flow's pool.
+        self._in_order = False
+        self._chain_done = False
 
     @property
     def queueing_delay_usec(self) -> Optional[int]:

@@ -3,11 +3,17 @@
 This mirrors what the paper measures at the BESS switch: arrivals, drops,
 occupancy over time, and per-packet queueing delay, all attributable to the
 service that sent the packet.
+
+Hot-path note: the counters are ``defaultdict(int)`` so ``offer``/``pop``
+increment them with a single C-level ``+=`` instead of a ``get``-then-store
+pair, and both methods keep their per-call state in locals.  Counter dicts
+still compare/serialise exactly like plain dicts, and missing services
+read as zero via ``.get`` in the accessors (reads never insert keys).
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import defaultdict, deque
 from typing import Deque, Dict, Optional
 
 from .packet import Packet
@@ -42,10 +48,10 @@ class DropTailQueue:
             raise ValueError("queue capacity must be at least one packet")
         self.capacity_packets = capacity_packets
         self._queue: Deque[Packet] = deque()
-        self.arrivals: Dict[str, int] = {}
-        self.drops: Dict[str, int] = {}
-        self.queue_delay_sum_usec: Dict[str, int] = {}
-        self.queue_delay_samples: Dict[str, int] = {}
+        self.arrivals: Dict[str, int] = defaultdict(int)
+        self.drops: Dict[str, int] = defaultdict(int)
+        self.queue_delay_sum_usec: Dict[str, int] = defaultdict(int)
+        self.queue_delay_samples: Dict[str, int] = defaultdict(int)
         self.log = log
 
     def __len__(self) -> int:
@@ -59,30 +65,28 @@ class DropTailQueue:
     def offer(self, packet: Packet, now: int) -> bool:
         """Enqueue ``packet``; returns False (and counts a drop) if full."""
         service_id = packet.flow.service_id
-        self.arrivals[service_id] = self.arrivals.get(service_id, 0) + 1
-        if len(self._queue) >= self.capacity_packets:
-            self.drops[service_id] = self.drops.get(service_id, 0) + 1
-            if self.log is not None:
-                self.log.record_drop(now, service_id)
+        self.arrivals[service_id] += 1
+        queue = self._queue
+        if len(queue) >= self.capacity_packets:
+            self.drops[service_id] += 1
+            log = self.log
+            if log is not None:
+                log.record_drop(now, service_id)
             return False
         packet.arrival_time = now
-        self._queue.append(packet)
+        queue.append(packet)
         return True
 
     def pop(self, now: int) -> Optional[Packet]:
         """Dequeue the head packet, recording its queueing delay."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        packet = self._queue.popleft()
+        packet = queue.popleft()
         packet.dequeue_time = now
         service_id = packet.flow.service_id
-        delay = now - packet.arrival_time
-        self.queue_delay_sum_usec[service_id] = (
-            self.queue_delay_sum_usec.get(service_id, 0) + delay
-        )
-        self.queue_delay_samples[service_id] = (
-            self.queue_delay_samples.get(service_id, 0) + 1
-        )
+        self.queue_delay_sum_usec[service_id] += now - packet.arrival_time
+        self.queue_delay_samples[service_id] += 1
         return packet
 
     def loss_rate(self, service_id: str) -> float:

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 
 from .. import units
 from ..config import NetworkConfig
-from .engine import Engine
+from .engine import Engine, _NO_ARG
 from .link import BottleneckLink
 from .packet import Packet
 from .queue import DropTailQueue
@@ -38,6 +38,9 @@ class Path:
         "external_losses",
         "external_arrivals",
         "_rng",
+        "_rng_random",
+        "_link_send",
+        "_ack_dither_scale",
     )
 
     def __init__(
@@ -57,6 +60,14 @@ class Path:
         self.external_losses = 0
         self.external_arrivals = 0
         self._rng = rng or random.Random(0)
+        # Hot-path caches: the per-packet dither scale is a pure function
+        # of the (fixed) link rate, and the bound methods below are looked
+        # up once instead of once per packet/ACK.
+        self._rng_random = self._rng.random
+        self._link_send = link.send
+        self._ack_dither_scale = units.serialization_time_usec(
+            units.MSS_BYTES, link.rate_bps
+        )
 
     @property
     def base_rtt_usec(self) -> int:
@@ -74,11 +85,9 @@ class Path:
             # loss detection will notice the gap).
             self.external_losses += 1
             return
-        self.engine.schedule(
-            self.pre_delay_usec, lambda p=packet: self.link.send(p)
-        )
+        self.engine.schedule(self.pre_delay_usec, self._link_send, packet)
 
-    def send_reverse(self, callback) -> None:
+    def send_reverse(self, callback, arg=_NO_ARG) -> int:
         """Deliver an ACK/request to the server after the reverse delay.
 
         A random dither of up to one packet service time is added.  This
@@ -87,13 +96,14 @@ class Path:
         flow's arrivals to queue-overflow instants and produces wildly
         biased loss synchronisation.  The dither never exceeds the ACK
         spacing, so same-flow reordering stays within the dupthresh.
+
+        ``arg``, when given, is forwarded to the engine's 4-tuple event
+        form so hot callers (per-packet ACKs) need no closure.
         """
-        dither = int(
-            self._rng.random()
-            * units.serialization_time_usec(units.MSS_BYTES, self.link.rate_bps)
-        )
-        self.engine.schedule(self.rev_delay_usec + dither, callback)
-        return self.engine.now + self.rev_delay_usec + dither
+        dither = int(self._rng_random() * self._ack_dither_scale)
+        delay = self.rev_delay_usec + dither
+        self.engine.schedule(delay, callback, arg)
+        return self.engine.now + delay
 
     def send_reverse_ordered(
         self, callback, not_before_usec: int = 0
@@ -104,10 +114,7 @@ class Path:
         unlike ACK dithering they must stay FIFO; callers thread the
         returned arrival time into the next call's ``not_before_usec``.
         """
-        dither = int(
-            self._rng.random()
-            * units.serialization_time_usec(units.MSS_BYTES, self.link.rate_bps)
-        )
+        dither = int(self._rng_random() * self._ack_dither_scale)
         arrival = max(
             self.engine.now + self.rev_delay_usec + dither, not_before_usec
         )

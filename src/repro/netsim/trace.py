@@ -1,12 +1,18 @@
 """Experiment artifacts: queue logs and per-packet traces.
 
 The Prudentia website publishes "bottleneck queue logs and client PCAPs for
-every experiment"; these classes are the in-simulator equivalents.  Both are
-plain columnar records that serialise to JSON for the result store.
+every experiment"; these classes are the in-simulator equivalents.  Both
+store their records **columnar** - parallel ``array('q')`` buffers plus an
+interned service-id table - so the per-packet hot path appends machine
+integers instead of allocating a Python tuple per record.  Rows are only
+materialised when something asks for them (``to_json()``, the ``records``
+property, the series helpers), which is once per trial rather than once
+per packet.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Tuple
 
 
@@ -18,19 +24,42 @@ class QueueLog:
     rate while still resolving the burst/drain dynamics shown in Fig 8.
     """
 
+    __slots__ = (
+        "sample_period_usec",
+        "drop_events",
+        "_sample_times",
+        "_sample_occs",
+        "_next_sample_usec",
+    )
+
     def __init__(self, sample_period_usec: int = 10_000) -> None:
         if sample_period_usec < 1:
             raise ValueError("sample period must be positive")
         self.sample_period_usec = sample_period_usec
-        self.samples: List[Tuple[int, int]] = []
+        self._sample_times = array("q")
+        self._sample_occs = array("q")
         self.drop_events: List[Tuple[int, str]] = []
         self._next_sample_usec = 0
 
+    @property
+    def samples(self) -> List[Tuple[int, int]]:
+        """Materialised ``(time_usec, occupancy)`` rows, oldest first."""
+        return list(zip(self._sample_times, self._sample_occs))
+
     def maybe_sample(self, now: int, occupancy: int) -> None:
-        """Record occupancy if the sampling period has elapsed."""
+        """Record occupancy if the sampling period has elapsed.
+
+        The next sample time is aligned to the fixed period grid
+        (``0, P, 2P, ...``) rather than ``now + P``: anchoring on ``now``
+        let the grid slide forward by one inter-arrival gap per sample
+        under bursty arrivals, so a nominal 10 ms log drifted measurably
+        over a long trial.
+        """
         if now >= self._next_sample_usec:
-            self.samples.append((now, occupancy))
-            self._next_sample_usec = now + self.sample_period_usec
+            self._sample_times.append(now)
+            self._sample_occs.append(occupancy)
+            period = self.sample_period_usec
+            self._next_sample_usec = (now // period + 1) * period
 
     def record_drop(self, now: int, service_id: str) -> None:
         """Log one tail-drop event."""
@@ -38,10 +67,7 @@ class QueueLog:
 
     def occupancy_series(self) -> Tuple[List[int], List[int]]:
         """(times_usec, occupancy) columns for plotting."""
-        if not self.samples:
-            return [], []
-        times, occs = zip(*self.samples)
-        return list(times), list(occs)
+        return list(self._sample_times), list(self._sample_occs)
 
     def to_json(self) -> Dict:
         """Serialise the log for artifact publication."""
@@ -57,18 +83,67 @@ class PacketTrace:
 
     Recording every packet is expensive, so traces are opt-in (enabled for
     the time-series figures and for artifact publication, disabled for bulk
-    heatmap sweeps).  Each record is
-    ``(deliver_time_usec, service_id, size_bytes)``.
+    heatmap sweeps).  Each logical record is
+    ``(deliver_time_usec, service_id, size_bytes)``, stored as three
+    parallel columns with service ids interned to small integers.
+
+    ``throughput_series``/``bytes_delivered`` consult a lazily built
+    per-service index (row positions per service id) instead of rescanning
+    every record on each call; the index is invalidated by new records and
+    rebuilt in one pass.
     """
+
+    __slots__ = ("enabled", "_times", "_sizes", "_codes", "_sids", "_code_of", "_index")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self.records: List[Tuple[int, str, int]] = []
+        self._times = array("q")
+        self._sizes = array("q")
+        self._codes = array("q")
+        self._sids: List[str] = []  # code -> service_id
+        self._code_of: Dict[str, int] = {}
+        # service_id -> (times array, sizes array); None when stale.
+        self._index: Optional[Dict[str, Tuple[array, array]]] = None
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def records(self) -> List[Tuple[int, str, int]]:
+        """Materialised ``(time, service_id, size)`` rows, oldest first."""
+        sids = self._sids
+        return [
+            (when, sids[code], size)
+            for when, code, size in zip(self._times, self._codes, self._sizes)
+        ]
 
     def record(self, now: int, service_id: str, size_bytes: int) -> None:
         """Record one delivered packet (no-op when disabled)."""
-        if self.enabled:
-            self.records.append((now, service_id, size_bytes))
+        if not self.enabled:
+            return
+        code = self._code_of.get(service_id)
+        if code is None:
+            code = self._code_of[service_id] = len(self._sids)
+            self._sids.append(service_id)
+        self._times.append(now)
+        self._codes.append(code)
+        self._sizes.append(size_bytes)
+        self._index = None
+
+    def _service_columns(self, service_id: str) -> Tuple[array, array]:
+        """(times, sizes) columns for one service, via the lazy index."""
+        index = self._index
+        if index is None:
+            index = {}
+            sids = self._sids
+            for when, code, size in zip(self._times, self._codes, self._sizes):
+                columns = index.get(sids[code])
+                if columns is None:
+                    columns = index[sids[code]] = (array("q"), array("q"))
+                columns[0].append(when)
+                columns[1].append(size)
+            self._index = index
+        return index.get(service_id, (array("q"), array("q")))
 
     def throughput_series(
         self,
@@ -77,22 +152,29 @@ class PacketTrace:
         start_usec: int = 0,
         end_usec: Optional[int] = None,
     ) -> Tuple[List[float], List[float]]:
-        """Binned throughput (seconds, Mbps) for one service."""
+        """Binned throughput (seconds, Mbps) for one service.
+
+        Returns empty series when no record matches the service/window
+        (historically this produced one spurious zero-valued bin).
+        """
         if bin_usec < 1:
             raise ValueError("bin width must be positive")
+        times, sizes = self._service_columns(service_id)
         bins: Dict[int, int] = {}
         last = 0
-        for when, sid, size in self.records:
-            if sid != service_id or when < start_usec:
+        for when, size in zip(times, sizes):
+            if when < start_usec:
                 continue
             if end_usec is not None and when >= end_usec:
                 continue
             index = (when - start_usec) // bin_usec
             bins[index] = bins.get(index, 0) + size
             last = max(last, index)
-        times = [(i * bin_usec + start_usec) / 1e6 for i in range(last + 1)]
+        if not bins:
+            return [], []
+        out_times = [(i * bin_usec + start_usec) / 1e6 for i in range(last + 1)]
         rates = [bins.get(i, 0) * 8.0 / bin_usec for i in range(last + 1)]
-        return times, rates
+        return out_times, rates
 
     def bytes_delivered(
         self,
@@ -101,9 +183,10 @@ class PacketTrace:
         end_usec: Optional[int] = None,
     ) -> int:
         """Total bytes delivered to ``service_id`` within a window."""
+        times, sizes = self._service_columns(service_id)
         total = 0
-        for when, sid, size in self.records:
-            if sid != service_id or when < start_usec:
+        for when, size in zip(times, sizes):
+            if when < start_usec:
                 continue
             if end_usec is not None and when >= end_usec:
                 continue

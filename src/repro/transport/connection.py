@@ -8,6 +8,27 @@ Data flows server -> client through the shared bottleneck; ACKs and
 requests ride the uncongested reverse path.  The application interface is
 request-oriented (``request(nbytes, on_complete)``) because every service
 in the paper is a download workload.
+
+Hot-path notes (see DESIGN.md, "simulator hot path"):
+
+* The RTO uses the engine's lazy-cancellation :class:`~repro.netsim.engine.Timer`
+  handle, so rearming on every ACK is two attribute stores instead of a
+  heap push.
+* ``_handle_ack`` / ``_send_loop`` / ``_transmit_one`` hoist loop-invariant
+  reads (cwnd, pacing rate, counter dicts) into locals; the pacing gap is
+  cached keyed on the pacing rate, which only changes when the CCA moves
+  it.
+* Retired :class:`~repro.netsim.packet.Packet` objects are recycled
+  through a flow-owned free list (``PACKET_POOL_SIZE``; set to 0 to
+  disable).  A packet is recycled only once its network/ACK event chain
+  has completed (``_chain_done``) *and* the loss-detection deque no longer
+  holds it (``_in_order``) *and* it is not the live in-flight entry for
+  its sequence number; this matters because loss detection compares
+  in-flight entries by identity.  Packets lost upstream of the testbed
+  never finish a chain and are simply left to the garbage collector.
+
+None of these change scheduling order or arithmetic: simulations remain
+bit-identical with the straightforward implementation.
 """
 
 from __future__ import annotations
@@ -40,6 +61,9 @@ class Connection:
         server_rate_cap_bps: optional server-side pacing cap, modelling
             upstream throttles such as OneDrive's 45 Mbps ceiling.
     """
+
+    #: Maximum retired packets kept for reuse (0 disables the free list).
+    PACKET_POOL_SIZE = 2048
 
     def __init__(
         self,
@@ -88,11 +112,22 @@ class Connection:
 
         # --- timers & pacing ---
         self._next_request_arrival = 0
-        self._rto_deadline: Optional[int] = None
-        self._rto_event_pending = False
+        self._rto_timer = engine.timer(self._rto_expired)
         self._next_send_time = 0
         self._send_event_pending = False
         self._last_activity = 0
+        # Pacing-gap cache: serialization_time_usec(mss, rate) keyed on the
+        # current pacing rate (the CCA holds it constant between updates).
+        self._gap_rate = -1.0
+        self._gap_usec = 0
+
+        # Bound-method caches so per-packet scheduling allocates nothing.
+        self._ack_cb = self._handle_ack
+        self._send_loop_cb = self._send_loop
+
+        # Free list of retired packets (see module docstring).
+        self._pool: list = []
+        self._pool_max = self.PACKET_POOL_SIZE
 
         cca.on_connection_init(self)
 
@@ -175,47 +210,79 @@ class Connection:
 
     def _send_loop(self) -> None:
         self._send_event_pending = False
-        while self.has_data and self._window_open():
-            pacing = self._effective_pacing_rate()
-            if pacing is not None and pacing > 0:
-                now = self.engine.now
-                if now < self._next_send_time:
+        inflight = self._inflight
+        rtx_queue = self._rtx_queue
+        engine = self.engine
+        # cwnd and the pacing rate only move in CCA callbacks (ACK, loss,
+        # RTO), none of which can run inside this loop, so hoist them.
+        cwnd = self.cca.cwnd_packets
+        pacing = self._effective_pacing_rate()
+        if pacing is not None and pacing > 0:
+            if pacing != self._gap_rate:
+                self._gap_rate = pacing
+                self._gap_usec = units.serialization_time_usec(
+                    self.mss_bytes, pacing
+                )
+            gap = self._gap_usec
+            while (self._pending_packets or rtx_queue) and len(inflight) < cwnd:
+                now = engine.now
+                next_send = self._next_send_time
+                if now < next_send:
                     self._send_event_pending = True
-                    self.engine.schedule_at(self._next_send_time, self._send_loop)
+                    engine.schedule_at(next_send, self._send_loop_cb)
                     return
                 self._transmit_one()
-                gap = units.serialization_time_usec(self.mss_bytes, pacing)
-                base = max(self._next_send_time, now)
-                self._next_send_time = base + gap
-            else:
+                self._next_send_time = (
+                    next_send if next_send > now else now
+                ) + gap
+        else:
+            while (self._pending_packets or rtx_queue) and len(inflight) < cwnd:
                 self._transmit_one()
-        if not self.has_data and self._window_open():
+        if not (self._pending_packets or rtx_queue) and len(inflight) < cwnd:
             # The sender ran out of data with the window open: mark the
             # sampler app-limited so BBR ignores the lull.
-            self.sampler.mark_app_limited(self.inflight_bytes)
+            self.sampler.mark_app_limited(len(inflight) * self.mss_bytes)
 
     def _transmit_one(self) -> None:
         now = self.engine.now
-        if self._rtx_queue:
-            seq = self._rtx_queue.popleft()
+        rtx_queue = self._rtx_queue
+        if rtx_queue:
+            seq = rtx_queue.popleft()
             is_rtx = True
         else:
             seq = self._next_seq
-            self._next_seq += 1
+            self._next_seq = seq + 1
             self._pending_packets -= 1
             is_rtx = False
-        packet = Packet(self, seq, self.mss_bytes, now, is_retransmit=is_rtx)
-        packet.tx_index = self._tx_counter
-        self._tx_counter += 1
-        self.sampler.on_sent(packet, now, self.inflight_bytes)
-        self._inflight[seq] = packet
+        pool = self._pool
+        if pool:
+            # Recycle a retired packet: only fields the free list does not
+            # guarantee are reset (flow/size are invariant per connection;
+            # tx_index and the sampler snapshot are written below).
+            packet = pool.pop()
+            packet.seq = seq
+            packet.sent_time = now
+            packet.is_retransmit = is_rtx
+            packet.arrival_time = None
+            packet.dequeue_time = None
+            packet._chain_done = False
+        else:
+            packet = Packet(self, seq, self.mss_bytes, now, is_retransmit=is_rtx)
+        tx = self._tx_counter
+        packet.tx_index = tx
+        self._tx_counter = tx + 1
+        inflight = self._inflight
+        self.sampler.on_sent(packet, now, len(inflight) * self.mss_bytes)
+        inflight[seq] = packet
+        packet._in_order = True
         self._order.append(packet)
         self.packets_sent += 1
         self._last_activity = now
         self.cca.on_sent(self, packet)
         self.path.transmit(packet)
-        if self._rto_deadline is None:
-            self._arm_rto()
+        rto_timer = self._rto_timer
+        if rto_timer.deadline is None:
+            rto_timer.schedule_at(now + self.rtt.rto_usec)
 
     # ------------------------------------------------------------------
     # Receiver side (client)
@@ -224,15 +291,20 @@ class Connection:
     def on_packet_arrived(self, packet: Packet) -> None:
         """Called by the bottleneck link when a data packet reaches the client."""
         seq = packet.seq
-        if seq == self._rcv_cum + 1:
-            self._rcv_cum += 1
+        rcv_cum = self._rcv_cum
+        if seq == rcv_cum + 1:
+            rcv_cum += 1
             self.packets_received_unique += 1
             ooo = self._ooo
-            while (self._rcv_cum + 1) in ooo:
-                ooo.remove(self._rcv_cum + 1)
-                self._rcv_cum += 1
-            self._fire_completions()
-        elif seq > self._rcv_cum and seq not in self._ooo:
+            if ooo:
+                while (rcv_cum + 1) in ooo:
+                    ooo.remove(rcv_cum + 1)
+                    rcv_cum += 1
+            self._rcv_cum = rcv_cum
+            requests = self._requests
+            if requests and rcv_cum >= requests[0][0]:
+                self._fire_completions()
+        elif seq > rcv_cum and seq not in self._ooo:
             self._ooo.add(seq)
             self.packets_received_unique += 1
         else:
@@ -241,10 +313,13 @@ class Connection:
             pass
         # ACK every packet (no delayed ACKs: BBR's rate samples want the
         # per-packet signal, and ACKs are free on the reverse path).
-        self.path.send_reverse(lambda p=packet: self._handle_ack(p))
+        self.path.send_reverse(self._ack_cb, packet)
 
     def on_packet_dropped(self, packet: Packet) -> None:
         """Tail drop at the bottleneck; TCP learns about it via dupacks."""
+        # The packet's event chain ends here; loss detection (which still
+        # holds it in ``_order``/``_inflight``) may now recycle it.
+        packet._chain_done = True
 
     def _fire_completions(self) -> None:
         while self._requests and self._rcv_cum >= self._requests[0][0]:
@@ -260,9 +335,10 @@ class Connection:
         now = self.engine.now
         self._last_activity = now
         seq = packet.seq
-        current = self._inflight.get(seq)
+        inflight = self._inflight
+        current = inflight.get(seq)
         if current is packet:
-            del self._inflight[seq]
+            del inflight[seq]
             self.packets_acked += 1
             self.bytes_acked += packet.size_bytes
             rtt_sample = now - packet.sent_time
@@ -272,11 +348,29 @@ class Connection:
             self.cca.on_ack(self, packet, rtt_sample, rate_sample)
         if seq > self.highest_acked:
             self.highest_acked = seq
-        if packet.tx_index > self._highest_acked_tx:
-            self._highest_acked_tx = packet.tx_index
+        tx = packet.tx_index
+        if tx > self._highest_acked_tx:
+            self._highest_acked_tx = tx
+        # This ACK is the end of the packet's event chain.
+        packet._chain_done = True
+        was_in_order = packet._in_order
         self._detect_losses()
-        self._rearm_rto()
-        self._try_send()
+        # Rearm the RTO (inlined _rearm_rto): with the lazy timer this is
+        # just a deadline store on the common path.
+        rto_timer = self._rto_timer
+        if inflight or self._rtx_queue:
+            rto_timer.schedule_at(now + self.rtt.rto_usec)
+        else:
+            rto_timer.deadline = None
+        if not self._send_event_pending:
+            self._send_loop()
+        # Recycle: safe only if loss detection could not have freed it
+        # above (it never saw the packet if it was not in ``_order``) and
+        # it is not the live in-flight entry for this sequence number.
+        if not was_in_order and inflight.get(seq) is not packet:
+            pool = self._pool
+            if len(pool) < self._pool_max:
+                pool.append(packet)
 
     def _detect_losses(self) -> None:
         """SACK-style loss marking in *transmission* order.
@@ -286,22 +380,37 @@ class Connection:
         keep the classic 3-packet reordering tolerance (dupthresh) before
         declaring a hole lost, matching fast-retransmit timing.
         """
-        threshold = self._highest_acked_tx - DUPTHRESH
         order = self._order
+        if not order:
+            return
+        threshold = self._highest_acked_tx - DUPTHRESH
         inflight = self._inflight
+        pool = self._pool
+        pool_max = self._pool_max
         while order:
             pkt = order[0]
-            live = inflight.get(pkt.seq)
+            pkt_seq = pkt.seq
+            live = inflight.get(pkt_seq)
             if live is not pkt:
                 # Already acknowledged (or superseded by a retransmission).
                 order.popleft()
+                pkt._in_order = False
+                if pkt._chain_done and len(pool) < pool_max:
+                    pool.append(pkt)
                 continue
             if pkt.tx_index <= threshold:
                 order.popleft()
-                del inflight[pkt.seq]
-                self._rtx_queue.append(pkt.seq)
+                pkt._in_order = False
+                del inflight[pkt_seq]
+                self._rtx_queue.append(pkt_seq)
                 self.packets_marked_lost += 1
-                self._on_loss(pkt.seq)
+                self._on_loss(pkt_seq)
+                # A marked-lost packet with a finished chain was dropped at
+                # the bottleneck; nothing else can reference it.  (A chain
+                # still in flight - ACK-dither reordering or an upstream
+                # loss - keeps the packet out of the pool.)
+                if pkt._chain_done and len(pool) < pool_max:
+                    pool.append(pkt)
             else:
                 break
 
@@ -316,46 +425,38 @@ class Connection:
     # RTO
     # ------------------------------------------------------------------
 
-    def _arm_rto(self) -> None:
-        self._rto_deadline = self.engine.now + self.rtt.rto_usec
-        if not self._rto_event_pending:
-            self._rto_event_pending = True
-            self.engine.schedule_at(self._rto_deadline, self._rto_fired)
-
-    def _rearm_rto(self) -> None:
-        if not self._inflight and not self._rtx_queue:
-            self._rto_deadline = None
-            return
-        self._rto_deadline = self.engine.now + self.rtt.rto_usec
-        if not self._rto_event_pending:
-            self._rto_event_pending = True
-            self.engine.schedule_at(self._rto_deadline, self._rto_fired)
-
-    def _rto_fired(self) -> None:
-        self._rto_event_pending = False
-        if self._rto_deadline is None:
+    def _rto_expired(self) -> None:
+        """The engine Timer's deadline truly expired (not superseded)."""
+        if not self._inflight:
             return
         now = self.engine.now
-        if now < self._rto_deadline:
-            self._rto_event_pending = True
-            self.engine.schedule_at(self._rto_deadline, self._rto_fired)
-            return
-        if not self._inflight:
-            self._rto_deadline = None
-            return
         # Timeout: everything outstanding is presumed lost.
         self.rto_count += 1
         self.rtt.backoff()
-        lost = sorted(self._inflight)
-        self._inflight.clear()
-        self._order.clear()
+        inflight = self._inflight
+        order = self._order
+        pool = self._pool
+        pool_max = self._pool_max
+        lost = sorted(inflight)
+        for pkt in order:
+            pkt._in_order = False
+            if (
+                pkt._chain_done
+                and inflight.get(pkt.seq) is not pkt
+                and len(pool) < pool_max
+            ):
+                pool.append(pkt)
+        order.clear()
         existing = set(self._rtx_queue)
         for seq in lost:
             if seq not in existing:
                 self._rtx_queue.append(seq)
+        for pkt in inflight.values():
+            if pkt._chain_done and len(pool) < pool_max:
+                pool.append(pkt)
+        inflight.clear()
         self.packets_marked_lost += len(lost)
         self._recovery_until_tx = self._tx_counter - 1
         self.cca.on_rto(self, now)
-        self._rto_deadline = None
         self._next_send_time = now
         self._try_send()

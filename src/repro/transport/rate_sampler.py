@@ -35,9 +35,22 @@ class RateSample:
 
 
 class RateSampler:
-    """Per-connection delivery-rate bookkeeping."""
+    """Per-connection delivery-rate bookkeeping.
 
-    __slots__ = ("delivered", "delivered_time", "first_sent_time", "app_limited_until")
+    ``on_ack`` returns one **reused** :class:`RateSample` instance per
+    sampler, mutated in place: consumers (the CCAs) read the fields inside
+    their ``on_ack`` and never retain the object, so reuse saves one
+    allocation per ACK on the hot path.  Callers that want to keep a
+    sample must copy it.
+    """
+
+    __slots__ = (
+        "delivered",
+        "delivered_time",
+        "first_sent_time",
+        "app_limited_until",
+        "_sample",
+    )
 
     def __init__(self) -> None:
         self.delivered = 0
@@ -45,6 +58,7 @@ class RateSampler:
         self.first_sent_time = 0
         # ``delivered`` watermark below which samples count as app-limited.
         self.app_limited_until = 0
+        self._sample = RateSample(0.0, 0, 0, False, 0)
 
     def on_sent(self, packet: Packet, now: int, inflight_bytes: int) -> None:
         """Snapshot sampler state into an outgoing packet."""
@@ -75,10 +89,10 @@ class RateSampler:
             rate = 0.0
         else:
             rate = delivered_bytes * 8 * units.USEC_PER_SEC / interval
-        return RateSample(
-            delivery_rate_bps=rate,
-            delivered_bytes=delivered_bytes,
-            interval_usec=interval,
-            is_app_limited=packet.is_app_limited,
-            rtt_usec=rtt_usec,
-        )
+        sample = self._sample
+        sample.delivery_rate_bps = rate
+        sample.delivered_bytes = delivered_bytes
+        sample.interval_usec = interval
+        sample.is_app_limited = packet.is_app_limited
+        sample.rtt_usec = rtt_usec
+        return sample

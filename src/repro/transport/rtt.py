@@ -21,6 +21,7 @@ class RttEstimator:
         self.latest_rtt_usec: Optional[int] = None
         self.min_rtt_usec: Optional[int] = None
         self._backoff = 1
+        self._rto_usec = self._compute_rto()
 
     def on_rtt_sample(self, rtt_usec: int) -> None:
         """Feed one RTT measurement (never from retransmitted packets)."""
@@ -37,10 +38,9 @@ class RttEstimator:
             self.rttvar_usec = (1 - self.BETA) * self.rttvar_usec + self.BETA * delta
             self.srtt_usec = (1 - self.ALPHA) * self.srtt_usec + self.ALPHA * rtt_usec
         self._backoff = 1
+        self._rto_usec = self._compute_rto()
 
-    @property
-    def rto_usec(self) -> int:
-        """Current retransmission timeout, including backoff."""
+    def _compute_rto(self) -> int:
         if self.srtt_usec is None:
             base = units.seconds(1)
         else:
@@ -48,6 +48,16 @@ class RttEstimator:
         rto = max(self.MIN_RTO_USEC, base) * self._backoff
         return min(rto, self.MAX_RTO_USEC)
 
+    @property
+    def rto_usec(self) -> int:
+        """Current retransmission timeout, including backoff.
+
+        Read once per ACK by the connection's rearm path, so the value is
+        recomputed on state changes (sample/backoff) rather than per read.
+        """
+        return self._rto_usec
+
     def backoff(self) -> None:
         """Double the RTO after a timeout fires."""
         self._backoff = min(self._backoff * 2, 64)
+        self._rto_usec = self._compute_rto()

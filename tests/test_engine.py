@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.netsim.engine import Engine
+from repro.netsim.engine import Engine, Timer
 
 
 class TestScheduling:
@@ -63,6 +63,46 @@ class TestScheduling:
             engine.schedule_at(5, lambda: None)
 
 
+class TestArgEvents:
+    """The 4-tuple event form: ``schedule(delay, fn, arg)`` -> ``fn(arg)``."""
+
+    def test_arg_is_passed_through(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10, seen.append, "payload")
+        engine.run()
+        assert seen == ["payload"]
+
+    def test_none_is_a_valid_arg(self):
+        # The no-arg sentinel is identity-checked, so scheduling fn(None)
+        # must dispatch with the explicit None, not as a zero-arg call.
+        engine = Engine()
+        seen = []
+        engine.schedule(10, seen.append, None)
+        engine.run()
+        assert seen == [None]
+
+    def test_schedule_at_takes_arg(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(42, seen.append, "abs")
+        engine.run()
+        assert seen == ["abs"]
+
+    def test_same_time_fifo_across_both_forms(self):
+        # Closure-form and arg-form events scheduled at the same instant
+        # must interleave in scheduling order (seq tie-break), since
+        # bit-reproducibility rests on exactly this.
+        engine = Engine()
+        seen = []
+        engine.schedule(5, lambda: seen.append("closure-1"))
+        engine.schedule(5, seen.append, "arg-1")
+        engine.schedule(5, lambda: seen.append("closure-2"))
+        engine.schedule(5, seen.append, "arg-2")
+        engine.run()
+        assert seen == ["closure-1", "arg-1", "closure-2", "arg-2"]
+
+
 class TestRunUntil:
     def test_stops_at_boundary(self):
         engine = Engine()
@@ -94,6 +134,25 @@ class TestRunUntil:
         engine.run(until_usec=500)
         assert engine.now == 500
 
+    def test_resume_preserves_relative_scheduling(self):
+        # After an idle jump to the boundary, relative delays are anchored
+        # at the boundary time, not at the last processed event.
+        engine = Engine()
+        seen = []
+        engine.run(until_usec=100)
+        engine.schedule(10, lambda: seen.append(engine.now))
+        engine.run(until_usec=200)
+        assert seen == [110]
+        assert engine.now == 200
+
+    def test_resume_runs_boundary_event_exactly_once(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(20, lambda: seen.append(engine.now))
+        engine.run(until_usec=20)
+        engine.run(until_usec=40)
+        assert seen == [20]
+
     def test_pending_count(self):
         engine = Engine()
         engine.schedule(10, lambda: None)
@@ -101,6 +160,100 @@ class TestRunUntil:
         assert engine.pending() == 2
         engine.run()
         assert engine.pending() == 0
+
+
+class TestTimer:
+    """Lazy-cancellation timer handles (the RTO fast path)."""
+
+    def test_fires_at_deadline(self):
+        engine = Engine()
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.schedule(100)
+        assert timer.armed
+        engine.run()
+        assert fired == [100]
+        assert not timer.armed
+
+    def test_cancel_suppresses_callback(self):
+        engine = Engine()
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.schedule(100)
+        timer.cancel()
+        engine.run()
+        assert fired == []
+        # The stale heap event drained as a no-op.
+        assert engine.pending() == 0
+
+    def test_rearm_forward_keeps_one_heap_event(self):
+        # Rearming must not push a second event: the stale wakeup notices
+        # the moved deadline and chases it.
+        engine = Engine()
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.schedule(100)
+        timer.schedule(250)
+        assert engine.pending() == 1
+        engine.run(until_usec=100)
+        assert fired == []
+        assert engine.pending() == 1  # the chase event at 250
+        engine.run()
+        assert fired == [250]
+
+    def test_repeated_rearm_is_heap_free(self):
+        # The common RTO pattern: the deadline moves on every ACK but the
+        # heap only ever holds the original wakeup.
+        engine = Engine()
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.schedule(100)
+        for bump in range(1, 50):
+            timer.schedule_at(100 + bump)
+        assert engine.pending() == 1
+        engine.run()
+        assert fired == [149]
+
+    def test_rearm_earlier_fires_at_stale_wakeup(self):
+        # Documented semantic: the timer never chases a deadline that
+        # moved *earlier*; the callback fires (late) at the pending wakeup
+        # time.  This mirrors the pre-handle RTO implementation exactly.
+        engine = Engine()
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.schedule_at(200)
+        timer.schedule_at(150)
+        assert timer.deadline == 150
+        engine.run()
+        assert fired == [200]
+
+    def test_rearm_after_fire(self):
+        engine = Engine()
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.schedule(10)
+        engine.run()
+        timer.schedule(10)
+        engine.run()
+        assert fired == [10, 20]
+
+    def test_cancel_then_rearm_reuses_pending_event(self):
+        # cancel() leaves the heap event in place; a rearm before it
+        # drains just sets the deadline again.
+        engine = Engine()
+        fired = []
+        timer = engine.timer(lambda: fired.append(engine.now))
+        timer.schedule_at(100)
+        timer.cancel()
+        timer.schedule_at(90)
+        assert engine.pending() == 1
+        engine.run()
+        # The stale wakeup at 100 sees deadline 90 already expired.
+        assert fired == [100]
+
+    def test_timer_factory_returns_timer(self):
+        engine = Engine()
+        assert isinstance(engine.timer(lambda: None), Timer)
 
 
 class TestDeterminism:

@@ -24,6 +24,28 @@ class TestQueueLog:
     def test_empty_series(self):
         assert QueueLog().occupancy_series() == ([], [])
 
+    def test_sampling_grid_does_not_drift(self):
+        # Regression: the next sample time is aligned to the fixed period
+        # grid (0, P, 2P, ...).  Anchoring on the arrival time instead let
+        # the grid slide forward by one inter-arrival gap per sample, so a
+        # nominal 10 ms log drifted under bursty arrivals.
+        log = QueueLog(sample_period_usec=100)
+        log.maybe_sample(105, 1)   # taken; next grid point is 200, not 205
+        log.maybe_sample(201, 2)   # taken; next grid point is 300, not 301
+        log.maybe_sample(299, 3)   # skipped: before the 300 grid point
+        log.maybe_sample(300, 4)   # taken, exactly on grid
+        times, _occs = log.occupancy_series()
+        assert times == [105, 201, 300]
+
+    def test_grid_alignment_over_many_offset_arrivals(self):
+        # Arrivals always 1us past each grid point: with drift this took
+        # progressively later samples; aligned, it samples every period.
+        log = QueueLog(sample_period_usec=100)
+        for i in range(50):
+            log.maybe_sample(i * 100 + 1, i)
+        times, _occs = log.occupancy_series()
+        assert times == [i * 100 + 1 for i in range(50)]
+
     def test_json_roundtrippable(self):
         log = QueueLog(sample_period_usec=10)
         log.maybe_sample(0, 1)
@@ -65,6 +87,35 @@ class TestPacketTrace:
     def test_throughput_series_rejects_bad_bin(self):
         with pytest.raises(ValueError):
             PacketTrace().throughput_series("a", bin_usec=0)
+
+    def test_throughput_series_empty_when_no_match(self):
+        # Regression: an unmatched service/window used to produce one
+        # spurious zero-valued bin instead of an empty series.
+        trace = PacketTrace()
+        trace.record(100, "a", 1500)
+        assert trace.throughput_series("nope") == ([], [])
+        assert trace.throughput_series("a", start_usec=500) == ([], [])
+        assert trace.throughput_series("a", end_usec=100) == ([], [])
+        assert PacketTrace().throughput_series("a") == ([], [])
+
+    def test_records_survive_interning(self):
+        # Service ids are interned to integer codes internally; the
+        # materialised rows must still carry the original strings.
+        trace = PacketTrace()
+        trace.record(1, "b", 100)
+        trace.record(2, "a", 200)
+        trace.record(3, "b", 300)
+        assert trace.records == [(1, "b", 100), (2, "a", 200), (3, "b", 300)]
+        assert trace.to_json() == {
+            "records": [(1, "b", 100), (2, "a", 200), (3, "b", 300)]
+        }
+
+    def test_index_invalidated_by_new_records(self):
+        trace = PacketTrace()
+        trace.record(100, "a", 1500)
+        assert trace.bytes_delivered("a") == 1500  # builds the index
+        trace.record(200, "a", 500)  # must invalidate it
+        assert trace.bytes_delivered("a") == 2000
 
     def test_series_filters_service(self):
         trace = PacketTrace()
