@@ -39,6 +39,8 @@ from .config import (
     moderately_constrained,
 )
 from .core.experiment import run_trial_artifacts
+from .obs import tracing
+from .obs.tracing import percentile
 from .services.catalog import default_catalog
 
 #: Scenario name -> (network factory, trace packets).
@@ -105,17 +107,26 @@ def run_benchmark(
         network_factory, trace = SCENARIOS[name]
         network = network_factory()
         best: Optional[Dict[str, float]] = None
-        for _ in range(repeats):
-            sample = _run_once(network, duration_sec, seed, trace)
+        walls: List[float] = []
+        for repeat in range(repeats):
+            with tracing.span(
+                "bench.scenario", scenario=name, repeat=repeat
+            ) as bench_span:
+                sample = _run_once(network, duration_sec, seed, trace)
+            bench_span.set(packets=sample["packets"])
+            walls.append(sample["wall_sec"])
             if best is None or sample["wall_sec"] < best["wall_sec"]:
                 best = sample
         wall = best["wall_sec"]
+        walls.sort()
         out["scenarios"][name] = {
             "bandwidth_mbps": network.bandwidth_bps / 1e6,
             "queue_packets": network.queue_packets,
             "trace": trace,
             "packets": best["packets"],
             "wall_sec": round(wall, 4),
+            "wall_sec_p50": round(percentile(walls, 0.5), 4),
+            "wall_sec_p95": round(percentile(walls, 0.95), 4),
             "pkts_per_sec": round(best["packets"] / wall, 1),
             "sim_sec_per_wall_sec": round(duration_sec / wall, 2),
         }

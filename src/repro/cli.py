@@ -10,9 +10,16 @@ watchdog is driven:
 - ``classify``  - run the CCA classifier on a named controller
 - ``sweep``     - fairness vs bandwidth/buffer/RTT for one pair
 - ``fleet``     - sharded multi-host execution: plan / run-shard /
-  merge / report (see :mod:`repro.fleet.cli`)
+  merge / status / report (see :mod:`repro.fleet.cli`)
 - ``bench``     - hot-path benchmark suite, writing ``BENCH_netsim.json``
   (see :mod:`repro.bench`)
+- ``obs``       - observability artifacts: span-trace summaries, Chrome
+  trace export, heartbeat inspection (see :mod:`repro.obs.cli`)
+
+Global flags (before the subcommand): ``--log-level``/``--log-json``
+route the library's structured diagnostics to stderr, ``--trace-file``
+records wall-clock spans for the whole invocation to a JSONL file that
+``repro obs summarize`` digests.
 """
 
 from __future__ import annotations
@@ -45,7 +52,12 @@ from .core.runner import (
 from .core.sweep import bandwidth_sweep, buffer_sweep, render_sweep, rtt_sweep
 from .core.watchdog import Prudentia
 from .fleet.cli import register as register_fleet
+from .obs import tracing
+from .obs.cli import register as register_obs
+from .obs.log import LEVELS, configure as configure_logging, get_logger
 from .services.catalog import default_catalog
+
+_log = get_logger("cli")
 
 CCA_FACTORIES = {
     "reno": lambda: NewReno(),
@@ -85,15 +97,15 @@ def _backend(args) -> ExecutionBackend:
 
 
 def _print_runner_stats(args, backend: ExecutionBackend) -> None:
-    """One summary line of execution counters (only when caching)."""
+    """One structured summary of execution counters (only when caching)."""
     if not getattr(args, "cache_dir", None):
         return
     stats = backend.stats
-    print(
-        f"[runner] {stats.trials_run} simulated, "
-        f"{stats.cache_hits} cache hits, "
-        f"{stats.wall_clock_sec:.1f}s simulating",
-        file=sys.stderr,
+    _log.info(
+        "runner.stats",
+        trials_run=stats.trials_run,
+        cache_hits=stats.cache_hits,
+        wall_clock_sec=round(stats.wall_clock_sec, 2),
     )
 
 
@@ -236,11 +248,11 @@ def cmd_cycle(args) -> int:
     )
     stats = watchdog.last_cycle_stats
     if args.cache_dir and stats is not None:
-        print(
-            f"[runner] {stats.trials_run} simulated, "
-            f"{stats.cache_hits} cache hits, "
-            f"{stats.wall_clock_sec:.1f}s simulating",
-            file=sys.stderr,
+        _log.info(
+            "runner.stats",
+            trials_run=stats.trials_run,
+            cache_hits=stats.cache_hits,
+            wall_clock_sec=round(stats.wall_clock_sec, 2),
         )
     report = watchdog.report(_network(args), service_ids=ids)
     if args.json:
@@ -349,6 +361,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Prudentia Internet-fairness watchdog (simulated)",
     )
+    parser.add_argument(
+        "--log-level", choices=list(LEVELS), default="info",
+        help="stderr diagnostic verbosity (default: info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines instead of text",
+    )
+    parser.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="record wall-clock spans for this invocation to a JSONL "
+             "file (inspect with 'repro obs summarize')",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("services", help="list the service catalog")
@@ -422,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sweep)
 
     register_fleet(sub)
+    register_obs(sub)
 
     return parser
 
@@ -430,8 +456,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
+    if args.trace_file:
+        tracing.configure(args.trace_file)
     try:
-        return args.func(args)
+        with tracing.span("cli.command", command=args.command):
+            return args.func(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:
@@ -439,6 +469,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    finally:
+        if args.trace_file:
+            tracing.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

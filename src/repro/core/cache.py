@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from ..browser.environment import ClientEnvironment
+from ..obs.metrics import get_registry
 from .experiment import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -125,12 +126,14 @@ class TrialCache:
                 self._memory[key] = payload
         if payload is None:
             self.misses += 1
+            get_registry().counter("cache.misses").inc()
             return None
         if self.cache_dir is not None:
             path = self._path(key)
             if path.exists():
                 os.utime(path)  # touch: LRU recency for evict()
         self.hits += 1
+        get_registry().counter("cache.hits").inc()
         return ExperimentResult.from_json(payload)
 
     def put(
@@ -144,8 +147,12 @@ class TrialCache:
         payload = result.to_json()
         self._memory[key] = payload
         self.stores += 1
+        registry = get_registry()
+        registry.counter("cache.stores").inc()
         if self.cache_dir is not None:
-            self._path(key).write_text(json.dumps(payload, indent=1))
+            encoded = json.dumps(payload, indent=1)
+            self._path(key).write_text(encoded)
+            registry.counter("cache.bytes_written").inc(len(encoded))
             if self.max_bytes is not None:
                 self.evict()
 
@@ -175,14 +182,20 @@ class TrialCache:
             entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
         total = sum(size for _m, _n, _p, size in entries)
         evicted: List[str] = []
+        evicted_bytes = 0
         for _mtime, _name, path, size in sorted(entries):
             if total <= cap:
                 break
             path.unlink()
             self._memory.pop(path.stem, None)
             total -= size
+            evicted_bytes += size
             evicted.append(path.stem)
         self.evictions += len(evicted)
+        if evicted:
+            registry = get_registry()
+            registry.counter("cache.evictions").inc(len(evicted))
+            registry.counter("cache.bytes_evicted").inc(evicted_bytes)
         return evicted
 
     # ------------------------------------------------------------------

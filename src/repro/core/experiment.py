@@ -12,11 +12,14 @@ result store, the trial cache, and the website artifacts.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..browser.environment import ClientEnvironment
 from ..config import ExperimentConfig, NetworkConfig
+from ..obs import tracing
+from ..obs.metrics import get_registry
 from ..services.catalog import ServiceSpec
 from .metrics import mmf_share
 from .mmf import max_min_allocation
@@ -132,6 +135,45 @@ def _allocation_caps(
     return spec.max_throughput_bps
 
 
+#: Bucket edges for the per-trial simulated-packet-rate histogram.
+_PKTS_PER_SEC_EDGES = (
+    1e3, 5e3, 1e4, 2.5e4, 5e4, 7.5e4, 1e5, 1.5e5, 2.5e5, 5e5, 1e6,
+)
+
+
+def _record_sim_metrics(
+    testbed: Testbed,
+    services: Sequence,
+    wall_sec: float,
+    sim_span,
+) -> None:
+    """Publish one finished trial's simulator counters (repro.obs).
+
+    Runs strictly *after* the event loop drains - it only reads counters
+    the simulator already maintains (packets sent, events scheduled,
+    queue drops), so it cannot perturb simulation output and adds no
+    per-packet work.
+    """
+    packets = sum(
+        connection.packets_sent
+        for service in services
+        for connection in service.connections
+    )
+    events = testbed.bell.engine.events_scheduled
+    drops = sum(testbed.bell.queue.drops.values())
+    registry = get_registry()
+    registry.counter("sim.trials").inc()
+    registry.counter("sim.packets").inc(packets)
+    registry.counter("sim.events").inc(events)
+    registry.counter("sim.queue_drops").inc(drops)
+    registry.histogram("sim.wall_sec").observe(wall_sec)
+    if wall_sec > 0:
+        registry.histogram(
+            "sim.pkts_per_sec", _PKTS_PER_SEC_EDGES
+        ).observe(packets / wall_sec)
+    sim_span.set(packets=packets, events=events, queue_drops=drops)
+
+
 def run_trial_artifacts(
     specs: Sequence[ServiceSpec],
     network: NetworkConfig,
@@ -174,8 +216,16 @@ def run_trial_artifacts(
             service.service_id = f"{service.service_id}#{count + 1}"
         testbed.add_service(service)
         services.append(service)
-    testbed.start_all()
-    testbed.run_window(config)
+    with tracing.span(
+        "sim.run",
+        services="+".join(s.service_id for s in services),
+        seed=seed,
+    ) as sim_span:
+        wall_start = time.perf_counter()
+        testbed.start_all()
+        testbed.run_window(config)
+        sim_wall_sec = time.perf_counter() - wall_start
+        _record_sim_metrics(testbed, services, sim_wall_sec, sim_span)
 
     caps = [
         _allocation_caps(spec, cap)

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..browser.environment import ClientEnvironment
 from ..config import ExperimentConfig, NetworkConfig
+from ..obs import tracing
+from ..obs.metrics import get_registry
 from ..services.catalog import ServiceCatalog
 from .cache import TrialCache
 from .experiment import ExperimentResult, run_service_specs
@@ -145,14 +147,19 @@ def run_trial(
 
         catalog = default_catalog()
     specs = [catalog.get(sid) for sid in spec.service_ids]
-    return run_service_specs(
-        specs,
-        spec.network,
-        spec.config,
+    with tracing.span(
+        "trial.run",
+        services="+".join(spec.service_ids),
         seed=spec.seed,
-        env=env,
-        trace_packets=trace_packets,
-    )
+    ):
+        return run_service_specs(
+            specs,
+            spec.network,
+            spec.config,
+            seed=spec.seed,
+            env=env,
+            trace_packets=trace_packets,
+        )
 
 
 @dataclass
@@ -225,27 +232,52 @@ class ExecutionBackend:
         trials, self._pending = self._pending, []
         if not trials:
             return []
+        registry = get_registry()
         results: List[Optional[ExperimentResult]] = [None] * len(trials)
         misses: List[Tuple[int, TrialSpec]] = []
         env = self._cache_env()
-        for index, spec in enumerate(trials):
-            cached = (
-                self.cache.get(spec, env=env)
-                if self.cache is not None
-                else None
+        hits_before = self.stats.cache_hits
+        lookup = (
+            tracing.span("cache.lookup", trials=len(trials))
+            if self.cache is not None
+            else tracing.null_span()
+        )
+        with lookup as lookup_span:
+            for index, spec in enumerate(trials):
+                cached = (
+                    self.cache.get(spec, env=env)
+                    if self.cache is not None
+                    else None
+                )
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    results[index] = cached
+                else:
+                    if self.cache is not None:
+                        self.stats.cache_misses += 1
+                    misses.append((index, spec))
+            lookup_span.set(
+                hits=self.stats.cache_hits - hits_before,
+                misses=len(misses),
             )
-            if cached is not None:
-                self.stats.cache_hits += 1
-                results[index] = cached
-            else:
-                if self.cache is not None:
-                    self.stats.cache_misses += 1
-                misses.append((index, spec))
+        registry.counter("runner.cache_hits").inc(
+            self.stats.cache_hits - hits_before
+        )
+        if self.cache is not None:
+            registry.counter("runner.cache_misses").inc(len(misses))
         if misses:
             start = time.perf_counter()
-            fresh = self._execute([spec for _i, spec in misses])
-            self.stats.wall_clock_sec += time.perf_counter() - start
+            with tracing.span(
+                "backend.dispatch",
+                backend=type(self).__name__,
+                trials=len(misses),
+            ):
+                fresh = self._execute([spec for _i, spec in misses])
+            elapsed = time.perf_counter() - start
+            self.stats.wall_clock_sec += elapsed
             self.stats.trials_run += len(fresh)
+            registry.counter("runner.trials_run").inc(len(fresh))
+            registry.histogram("runner.dispatch_sec").observe(elapsed)
             for (index, spec), result in zip(misses, fresh):
                 results[index] = result
                 if self.cache is not None:

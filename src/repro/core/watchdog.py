@@ -22,6 +22,8 @@ from ..config import (
     moderately_constrained,
     trial_policy_for,
 )
+from ..obs import tracing
+from ..obs.heartbeat import HeartbeatWriter
 from ..services.catalog import ServiceCatalog, default_catalog
 from .cache import TrialCache
 from .calibration import SoloCalibration, calibrate_catalog, format_table1
@@ -53,6 +55,11 @@ class Prudentia:
         cache: content-addressed trial cache; repeated cycles, re-runs and
             re-queued batches skip trials already simulated under the same
             inputs.  Pass a :class:`TrialCache` or a cache directory path.
+        heartbeat_path: when set, a JSON heartbeat file is atomically
+            rewritten after every executed batch and at cycle boundaries
+            (progress, ETA, staleness), so long ``run_continuously``
+            deployments are inspectable from outside the process - read
+            it with ``repro obs heartbeat``.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class Prudentia:
         env: Optional[ClientEnvironment] = None,
         base_seed: int = 0,
         cache: Optional[Union[TrialCache, Path, str]] = None,
+        heartbeat_path: Optional[Union[Path, str]] = None,
     ) -> None:
         self.catalog = catalog or default_catalog()
         self.networks = list(
@@ -82,6 +90,11 @@ class Prudentia:
         self.calibrations: Dict[float, Dict[str, SoloCalibration]] = {}
         self.cycles_completed = 0
         self.last_cycle_stats: Optional[RunnerStats] = None
+        self.heartbeat: Optional[HeartbeatWriter] = (
+            HeartbeatWriter(heartbeat_path)
+            if heartbeat_path is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Calibration (Table 1)
@@ -159,23 +172,37 @@ class Prudentia:
         """
         runner = backend or self._backend(parallel_workers)
         ids = service_ids or self.catalog.heatmap_ids()
-        for network in networks or self.networks:
-            scheduler = RoundRobinScheduler(
-                ids,
-                self._policy_for(network),
-                include_self_pairs=include_self_pairs,
-                base_seed=self.base_seed + self.cycles_completed,
-            )
-            while scheduler.pending():
-                batch = scheduler.next_batch(network, self.experiment_config)
-                for spec, result in zip(batch, runner.run(batch)):
-                    if result.valid:
-                        self.store.add(result)
-                    scheduler.record_result(
-                        spec.pair_key, result.throughput_bps
+        with tracing.span(
+            "cycle.run",
+            cycle=self.cycles_completed,
+            services=len(ids),
+        ) as cycle_span:
+            cycle_trials = 0
+            for network in networks or self.networks:
+                scheduler = RoundRobinScheduler(
+                    ids,
+                    self._policy_for(network),
+                    include_self_pairs=include_self_pairs,
+                    base_seed=self.base_seed + self.cycles_completed,
+                )
+                while scheduler.pending():
+                    batch = scheduler.next_batch(
+                        network, self.experiment_config
                     )
+                    for spec, result in zip(batch, runner.run(batch)):
+                        if result.valid:
+                            self.store.add(result)
+                        scheduler.record_result(
+                            spec.pair_key, result.throughput_bps
+                        )
+                    cycle_trials += len(batch)
+                    if self.heartbeat is not None:
+                        self.heartbeat.batch_done(len(batch))
+            cycle_span.set(trials=cycle_trials)
         self.cycles_completed += 1
         self.last_cycle_stats = runner.stats
+        if self.heartbeat is not None:
+            self.heartbeat.cycle_done()
         return self.store
 
     def run_continuously(
@@ -183,9 +210,15 @@ class Prudentia:
         cycles: int,
         service_ids: Optional[List[str]] = None,
     ) -> ResultStore:
-        """Repeat all-pairs sweeps (the live-deployment mode)."""
+        """Repeat all-pairs sweeps (the live-deployment mode).
+
+        With a ``heartbeat_path`` configured, the heartbeat file tracks
+        per-cycle progress and an ETA over the remaining cycles.
+        """
         if cycles < 1:
             raise ValueError("need at least one cycle")
+        if self.heartbeat is not None:
+            self.heartbeat.starting(cycles_total=cycles)
         for _ in range(cycles):
             self.run_cycle(service_ids=service_ids)
         return self.store

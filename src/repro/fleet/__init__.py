@@ -19,10 +19,15 @@ shardable plan executed across many hosts and re-assembled losslessly:
 5. :func:`assemble_reports` / :func:`assemble_sweep` rebuild the
    published artifact from the merged cache with **zero re-simulation**,
    bit-identical to a single-host run.
+
+Mid-run, :func:`fleet_status` diffs on-disk receipt/entry coverage
+against the plan (done / running / stalled / missing shards) without
+disturbing the workers.
 """
 
 from .assemble import assemble_reports, assemble_store, assemble_sweep
 from .merge import MergeReport, merge_shards
+from .status import FleetStatus, ShardStatus, fleet_status
 from .plan import (
     MANIFEST_SCHEMA_VERSION,
     FleetError,
@@ -41,12 +46,15 @@ __all__ = [
     "RECEIPT_FILENAME",
     "FleetError",
     "FleetPlan",
+    "FleetStatus",
     "MergeReport",
     "PlannedTrial",
     "ShardReceipt",
+    "ShardStatus",
     "assemble_reports",
     "assemble_store",
     "assemble_sweep",
+    "fleet_status",
     "load_manifest",
     "load_plan",
     "merge_shards",

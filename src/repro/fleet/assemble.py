@@ -21,6 +21,7 @@ from ..core.report import FairnessReport
 from ..core.results import ResultStore
 from ..core.runner import InlineBackend, RunnerStats
 from ..core.sweep import SweepPoint, aggregate_pair_results
+from ..obs import tracing
 from ..services.catalog import ServiceCatalog
 from .plan import FleetError, FleetPlan, _dataclass_from_json
 from ..config import NetworkConfig
@@ -40,27 +41,32 @@ def assemble_store(
     :class:`RunnerStats`, and the raw per-trial results in plan order
     (sweep aggregation needs them positionally).
     """
-    missing = [
-        t.cache_key for t in plan.trials if not cache.contains_key(t.cache_key)
-    ]
-    if missing:
-        preview = ", ".join(k[:12] + "..." for k in missing[:5])
-        raise FleetError(
-            f"cache is missing {len(missing)} of {len(plan.trials)} "
-            f"planned trials ({preview}) - merge all shards before "
-            "assembling"
-        )
-    backend = InlineBackend(catalog=catalog, cache=cache)
-    results = backend.run([t.spec for t in plan.trials])
-    if backend.stats.trials_run != 0:
-        raise FleetError(
-            f"assembly simulated {backend.stats.trials_run} trials - "
-            "cache entries disappeared mid-assembly (concurrent "
-            "eviction?); aborting rather than publish mixed provenance"
-        )
-    store = ResultStore()
-    store.extend(results, valid_only=True)
-    return store, backend.stats, results
+    with tracing.span(
+        "report.assemble", plan_kind=plan.kind, trials=len(plan.trials)
+    ):
+        missing = [
+            t.cache_key
+            for t in plan.trials
+            if not cache.contains_key(t.cache_key)
+        ]
+        if missing:
+            preview = ", ".join(k[:12] + "..." for k in missing[:5])
+            raise FleetError(
+                f"cache is missing {len(missing)} of {len(plan.trials)} "
+                f"planned trials ({preview}) - merge all shards before "
+                "assembling"
+            )
+        backend = InlineBackend(catalog=catalog, cache=cache)
+        results = backend.run([t.spec for t in plan.trials])
+        if backend.stats.trials_run != 0:
+            raise FleetError(
+                f"assembly simulated {backend.stats.trials_run} trials - "
+                "cache entries disappeared mid-assembly (concurrent "
+                "eviction?); aborting rather than publish mixed provenance"
+            )
+        store = ResultStore()
+        store.extend(results, valid_only=True)
+        return store, backend.stats, results
 
 
 def assemble_reports(

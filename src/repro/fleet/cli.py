@@ -8,6 +8,8 @@ Four subcommands mirror the four fleet stages:
   (runs on any host; ship the manifest there and the cache dir back)
 - ``fleet merge``            - union shard caches, verifying receipts,
   schema versions, duplicates, and coverage against the plan
+- ``fleet status``           - diff receipt coverage against the plan
+  mid-run: done / running / stalled / missing shards, trial counts
 - ``fleet report``           - rebuild the fairness report / sweep curve
   from the merged cache with zero re-simulation
 
@@ -29,10 +31,14 @@ from ..core.cache import TrialCache
 from ..core.runner import BACKEND_KINDS
 from ..core.sweep import render_sweep
 from ..services.catalog import default_catalog
+from ..obs.log import get_logger
 from .assemble import assemble_reports, assemble_sweep
 from .merge import merge_shards
 from .plan import FleetError, load_plan, plan_cycle, plan_sweep
+from .status import DEFAULT_STALL_SEC, fleet_status
 from .worker import run_shard
+
+_log = get_logger("fleet")
 
 
 def _network(args) -> NetworkConfig:
@@ -119,10 +125,31 @@ def cmd_fleet_merge(args) -> int:
         f"{report.stats.trials_run} trials in "
         f"{report.stats.wall_clock_sec:.1f}s)"
     )
+    for index, stats in sorted(report.per_shard_stats.items()):
+        print(
+            f"  shard {index}: {stats.trials_run} simulated, "
+            f"{stats.cache_hits} cache hits, "
+            f"{stats.wall_clock_sec:.1f}s simulating"
+        )
     if report.gaps:
         print(f"WARNING: {len(report.gaps)} planned trials uncovered",
               file=sys.stderr)
     return 0
+
+
+def cmd_fleet_status(args) -> int:
+    """Diff on-disk shard coverage against the plan, mid-run safe.
+
+    Exit code 0 when every shard is done, 1 while work remains (so the
+    command doubles as a completion probe in wait loops).
+    """
+    plan = load_plan(args.plan)
+    status = fleet_status(plan, args.dirs, stall_sec=args.stall_sec)
+    if args.json:
+        print(json.dumps(status.to_json(), indent=1))
+    else:
+        print(status.render())
+    return 0 if status.complete else 1
 
 
 def cmd_fleet_report(args) -> int:
@@ -162,10 +189,10 @@ def cmd_fleet_report(args) -> int:
                 print(f"most contentious: {report.most_contentious()}  |  "
                       f"least contentious: {report.least_contentious()}")
     assembly = reports[0].runner_stats
-    print(
-        f"[fleet] assembled from cache: {assembly.trials_run} simulated, "
-        f"{assembly.cache_hits} cache hits",
-        file=sys.stderr,
+    _log.info(
+        "fleet.assembled",
+        trials_run=assembly.trials_run,
+        cache_hits=assembly.cache_hits,
     )
     return 0
 
@@ -250,6 +277,19 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--allow-gaps", action="store_true",
                    help="tolerate planned trials missing from the union")
     p.set_defaults(func=_wrap(cmd_fleet_merge))
+
+    p = fleet_sub.add_parser(
+        "status", help="diff shard receipt coverage against the plan"
+    )
+    p.add_argument("plan", help="plan.json path")
+    p.add_argument("dirs", nargs="+",
+                   help="shard cache directories (or parents of them)")
+    p.add_argument("--stall-sec", type=float, default=DEFAULT_STALL_SEC,
+                   help="flag receipt-less shards with no write newer "
+                        "than this as stalled (default: 600)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=_wrap(cmd_fleet_status))
 
     p = fleet_sub.add_parser(
         "report", help="assemble the report from a merged cache"

@@ -25,13 +25,21 @@ from typing import Dict, List, Sequence, Union
 
 from ..core.cache import CACHE_SCHEMA_VERSION, is_cache_key
 from ..core.runner import RunnerStats
+from ..obs.metrics import merge_snapshots
 from .plan import FleetError, FleetPlan
 from .worker import ShardReceipt
 
 
 @dataclass
 class MergeReport:
-    """What the merge did and what it found."""
+    """What the merge did and what it found.
+
+    ``stats`` sums every receipt's :class:`RunnerStats`;
+    ``per_shard_stats`` keeps the per-shard breakdown (keyed by shard
+    index) and ``metrics`` unions the receipts' :mod:`repro.obs`
+    snapshots, so shard-level telemetry survives the merge instead of
+    being dropped.
+    """
 
     shards: int = 0
     entries_merged: int = 0
@@ -39,6 +47,8 @@ class MergeReport:
     gaps: List[str] = field(default_factory=list)
     extras: int = 0
     stats: RunnerStats = field(default_factory=RunnerStats)
+    per_shard_stats: Dict[int, RunnerStats] = field(default_factory=dict)
+    metrics: Dict = field(default_factory=dict)
 
     def to_json(self) -> Dict:
         """Machine-readable merge summary (stats nested as JSON)."""
@@ -49,6 +59,11 @@ class MergeReport:
             "gaps": list(self.gaps),
             "extras": self.extras,
             "stats": self.stats.to_json(),
+            "per_shard_stats": {
+                str(index): stats.to_json()
+                for index, stats in sorted(self.per_shard_stats.items())
+            },
+            "metrics": self.metrics,
         }
 
 
@@ -85,6 +100,7 @@ def merge_shards(
     dest.mkdir(parents=True, exist_ok=True)
     expected = set(plan.expected_keys())
     report = MergeReport(shards=len(shard_dirs))
+    shard_metrics: List[Dict] = []
     for shard_dir in shard_dirs:
         shard = Path(shard_dir)
         if not shard.is_dir():
@@ -105,6 +121,9 @@ def merge_shards(
                     "be comparable)"
                 )
             report.stats = report.stats.merged_with(receipt.stats)
+            report.per_shard_stats[receipt.shard_index] = receipt.stats
+            if receipt.metrics is not None:
+                shard_metrics.append(receipt.metrics)
         for entry in _shard_entries(shard):
             data = entry.read_bytes()
             target = dest / entry.name
@@ -122,6 +141,8 @@ def merge_shards(
             report.entries_merged += 1
             if entry.stem not in expected:
                 report.extras += 1
+    if shard_metrics:
+        report.metrics = merge_snapshots(shard_metrics)
     merged_keys = {path.stem for path in _shard_entries(dest)}
     report.gaps = sorted(expected - merged_keys)
     if report.gaps and not allow_gaps:

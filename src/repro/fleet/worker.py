@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Union
 
 from ..core.cache import CACHE_SCHEMA_VERSION, TrialCache, trial_cache_key
 from ..core.runner import ExecutionBackend, RunnerStats, build_backend
+from ..obs import tracing
+from ..obs.metrics import diff_snapshots, get_registry
 from .plan import (
     MANIFEST_SCHEMA_VERSION,
     FleetError,
@@ -35,7 +37,15 @@ RECEIPT_FILENAME = "shard-receipt.json"
 
 @dataclass
 class ShardReceipt:
-    """Proof that one shard completed, with provenance and counters."""
+    """Proof that one shard completed, with provenance and counters.
+
+    Besides the :class:`RunnerStats` counters, a receipt carries the
+    shard's :mod:`repro.obs` metrics snapshot (``metrics``) - cache
+    hit/miss/byte counters, per-trial simulator histograms - isolated to
+    this shard run via a registry delta.  ``merge_shards`` unions the
+    snapshots into fleet-wide totals, so no shard-level telemetry is
+    dropped on merge.
+    """
 
     plan_id: str
     shard_index: int
@@ -43,10 +53,11 @@ class ShardReceipt:
     cache_schema: int
     completed_keys: List[str] = field(default_factory=list)
     stats: RunnerStats = field(default_factory=RunnerStats)
+    metrics: Optional[Dict] = None
 
     def to_json(self) -> Dict:
         """Schema-versioned receipt payload, round-trippable via from_json."""
-        return {
+        payload = {
             "schema": MANIFEST_SCHEMA_VERSION,
             "kind": "shard-receipt",
             "plan_id": self.plan_id,
@@ -56,6 +67,9 @@ class ShardReceipt:
             "completed_keys": list(self.completed_keys),
             "stats": self.stats.to_json(),
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict) -> "ShardReceipt":
@@ -67,6 +81,7 @@ class ShardReceipt:
             cache_schema=payload["cache_schema"],
             completed_keys=list(payload.get("completed_keys", [])),
             stats=RunnerStats.from_json(payload.get("stats", {})),
+            metrics=payload.get("metrics"),
         )
 
     @classmethod
@@ -132,7 +147,13 @@ def run_shard(
         backend = build_backend(backend_kind, workers, cache=cache)
     elif backend.cache is None:
         backend.cache = cache
-    backend.run(specs)
+    metrics_before = get_registry().snapshot()
+    with tracing.span(
+        "shard.run",
+        shard=manifest["shard_index"],
+        trials=len(specs),
+    ):
+        backend.run(specs)
     receipt = ShardReceipt(
         plan_id=manifest["plan_id"],
         shard_index=manifest["shard_index"],
@@ -140,6 +161,7 @@ def run_shard(
         cache_schema=manifest["cache_schema"],
         completed_keys=[entry["cache_key"] for entry in manifest["trials"]],
         stats=backend.stats,
+        metrics=diff_snapshots(metrics_before, get_registry().snapshot()),
     )
     receipt.write(cache_dir)
     return receipt

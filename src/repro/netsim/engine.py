@@ -104,6 +104,16 @@ class Engine:
         """Number of scheduled events not yet run."""
         return len(self._heap)
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the monotone sequence counter).
+
+        Read by post-trial instrumentation (repro.obs) as a measure of
+        event-loop work; maintaining it costs nothing extra because the
+        counter already exists for deterministic tie-breaking.
+        """
+        return self._seq
+
 
 class Timer:
     """A rearmable deadline with lazy cancellation.

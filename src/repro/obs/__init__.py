@@ -1,0 +1,48 @@
+"""repro.obs - zero-dependency observability for the watchdog pipeline.
+
+Four small, composable pieces (see DESIGN.md §7):
+
+- :mod:`repro.obs.metrics`   - process-local counters / gauges /
+  histograms with JSON snapshot, merge, and diff
+- :mod:`repro.obs.tracing`   - wall-clock spans to JSONL, Chrome
+  ``trace_event`` export, per-kind percentile summaries
+- :mod:`repro.obs.log`       - structured (optionally JSON) logging
+- :mod:`repro.obs.heartbeat` - atomic per-cycle heartbeat file so
+  ``run_continuously`` is inspectable from outside the process
+
+Every hook is off the simulator's per-packet path and outside the
+simulated clock: instrumentation reads existing counters after a trial
+finishes and times regions of *wall* time, so enabling it cannot
+perturb simulation output (`tests/test_obs.py` proves this against the
+golden-identity fixture).
+"""
+
+from .heartbeat import (  # noqa: F401
+    HEARTBEAT_SCHEMA_VERSION,
+    Heartbeat,
+    HeartbeatWriter,
+)
+from .log import configure as configure_logging  # noqa: F401
+from .log import get_logger  # noqa: F401
+from .metrics import (  # noqa: F401
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    merge_snapshots,
+    reset_registry,
+)
+from .tracing import (  # noqa: F401
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    configure as configure_tracing,
+    disable as disable_tracing,
+    get_tracer,
+    read_spans,
+    span,
+    summarize,
+    to_chrome_trace,
+)

@@ -1,0 +1,123 @@
+"""``python -m repro obs ...`` - inspect observability artifacts.
+
+Three subcommands over the files the instrumented pipeline produces:
+
+- ``obs summarize <trace.jsonl>`` - per-span-kind duration percentiles
+  (count, total, p50/p90/p95/p99, max) from a tracer JSONL file
+- ``obs chrome <trace.jsonl>``    - export the trace in Chrome
+  ``trace_event`` format for Perfetto / ``chrome://tracing``
+- ``obs heartbeat <file>``        - decode a watchdog heartbeat file
+  (phase, progress, ETA, staleness)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .heartbeat import Heartbeat, describe
+from .tracing import read_spans, render_summary, summarize, to_chrome_trace
+
+
+def cmd_obs_summarize(args) -> int:
+    """Print per-span-kind duration percentiles from a JSONL trace."""
+    try:
+        spans = read_spans(args.trace)
+    except OSError as exc:
+        print(f"obs error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize(spans)
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(render_summary(summary))
+        if summary:
+            print(f"\n{len(spans)} spans, {len(summary)} kinds")
+    return 0 if summary else 1
+
+
+def cmd_obs_chrome(args) -> int:
+    """Convert a JSONL trace into a Chrome trace_event JSON file."""
+    try:
+        spans = read_spans(args.trace)
+    except OSError as exc:
+        print(f"obs error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    payload = to_chrome_trace(spans)
+    if args.output == "-":
+        json.dump(payload, sys.stdout, indent=1)
+        print()
+    else:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(
+            f"wrote {len(payload['traceEvents'])} events to {args.output} "
+            "(open in Perfetto or chrome://tracing)"
+        )
+    return 0
+
+
+def cmd_obs_heartbeat(args) -> int:
+    """Decode a watchdog heartbeat file; exit 1 when stale."""
+    try:
+        beat = Heartbeat.load(args.heartbeat)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(
+            f"obs error: cannot read heartbeat {args.heartbeat}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        payload = beat.to_json()
+        payload["age_sec"] = round(beat.age_sec(), 3)
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(describe(beat))
+    stale = (
+        args.stale_after is not None and beat.age_sec() > args.stale_after
+        and beat.phase != "done"
+    )
+    if stale:
+        print(
+            f"WARNING: heartbeat is {beat.age_sec():.0f}s old "
+            f"(threshold {args.stale_after:.0f}s) - watchdog stalled?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def register(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``obs`` command tree to the top-level CLI."""
+    obs = sub.add_parser(
+        "obs", help="inspect metrics / trace / heartbeat artifacts"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser(
+        "summarize", help="per-span-kind duration percentiles"
+    )
+    p.add_argument("trace", help="span JSONL file written via --trace-file")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=cmd_obs_summarize)
+
+    p = obs_sub.add_parser(
+        "chrome", help="export a trace for Perfetto / chrome://tracing"
+    )
+    p.add_argument("trace", help="span JSONL file written via --trace-file")
+    p.add_argument("--output", "-o", default="trace-chrome.json",
+                   help="output file, or '-' for stdout")
+    p.set_defaults(func=cmd_obs_chrome)
+
+    p = obs_sub.add_parser(
+        "heartbeat", help="decode a watchdog heartbeat file"
+    )
+    p.add_argument("heartbeat", help="heartbeat JSON file")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON (with age_sec)")
+    p.add_argument("--stale-after", type=float, default=None,
+                   help="exit 1 when the heartbeat is older than this "
+                        "many seconds (and not done)")
+    p.set_defaults(func=cmd_obs_heartbeat)

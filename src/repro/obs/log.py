@@ -1,0 +1,143 @@
+"""Structured logging for the watchdog pipeline.
+
+Replaces the ad-hoc ``print(..., file=sys.stderr)`` diagnostics scattered
+through the CLI, fleet, and benchmark code with one event-plus-fields
+surface built on the stdlib ``logging`` module (no dependencies):
+
+    log = get_logger("runner")
+    log.info("runner.stats", trials_run=12, cache_hits=3)
+
+renders either as a human line::
+
+    info    repro.runner: runner.stats trials_run=12 cache_hits=3
+
+or, with ``--log-json``, as one JSON object per line (machine-ingestable
+by whatever collects the deployment's logs)::
+
+    {"event": "runner.stats", "level": "info", ..., "trials_run": 12}
+
+Primary command *output* (heatmaps, tables, ``--json`` payloads) stays
+on stdout and is not logging; logs go to stderr.  Library code may log
+freely without configuration - records then flow through the stdlib
+root logger's default WARNING threshold, so an un-configured import
+stays quiet at info/debug exactly like the old silent code paths.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Dict, IO, Optional
+
+#: All repro loggers live under this namespace.
+ROOT_LOGGER_NAME = "repro"
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_FIELDS_ATTR = "repro_fields"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts/level/logger/event plus fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable ``level logger: event key=value ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, _FIELDS_ATTR, None) or {}
+        suffix = "".join(
+            f" {key}={_compact(value)}" for key, value in fields.items()
+        )
+        line = (
+            f"{record.levelname.lower():<7} {record.name}: "
+            f"{record.getMessage()}{suffix}"
+        )
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def _compact(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    text = str(value)
+    return text if " " not in text else json.dumps(text)
+
+
+class StructLogger:
+    """Thin wrapper adding ``event, **fields`` call style."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _log(self, level: int, event: str, fields: Dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+    def debug(self, event: str, **fields) -> None:
+        """Log ``event`` with ``fields`` at DEBUG."""
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Log ``event`` with ``fields`` at INFO."""
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Log ``event`` with ``fields`` at WARNING."""
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Log ``event`` with ``fields`` at ERROR."""
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructLogger:
+    """A structured logger under the ``repro`` namespace."""
+    if name != ROOT_LOGGER_NAME and not name.startswith(
+        ROOT_LOGGER_NAME + "."
+    ):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return StructLogger(logging.getLogger(name))
+
+
+def configure(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: Optional[IO] = None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` logger (idempotent).
+
+    Called by the CLI from ``--log-level``/``--log-json``; tests pass an
+    explicit ``stream`` to capture output.  Re-configuring replaces the
+    previous handler rather than stacking duplicates.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choices: {LEVELS}")
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return root

@@ -22,6 +22,7 @@ from repro.fleet import (
     FleetError,
     FleetPlan,
     ShardReceipt,
+    fleet_status,
     assemble_reports,
     assemble_sweep,
     load_plan,
@@ -532,3 +533,152 @@ class TestFleetCLI:
         ])
         assert code == 1
         assert "fleet error" in capsys.readouterr().err
+
+
+class TestFleetStatus:
+    """Mid-run coverage diffing: done / running / stalled / missing."""
+
+    # Deterministic 2-shard plan whose trials split across both shards.
+    IDS3 = ["iperf_cubic", "iperf_reno", "iperf_bbr"]
+
+    def _plan(self):
+        plan = small_plan(num_shards=2, trials=2, ids=self.IDS3)
+        assert all(plan.shard_trials(i) for i in range(2))
+        return plan
+
+    def test_partial_receipts_are_done_plus_missing(self, tmp_path):
+        plan = self._plan()
+        plan.write(tmp_path / "plan")
+        run_shard(tmp_path / "plan" / "shard-0.json", tmp_path / "s0")
+        status = fleet_status(plan, [tmp_path / "s0", tmp_path / "s1"])
+        by_index = {s.shard_index: s for s in status.shards}
+        assert by_index[0].state == "done"
+        assert by_index[0].completed == by_index[0].planned
+        assert by_index[1].state == "missing"
+        assert status.counts() == {
+            "done": 1, "running": 0, "stalled": 0, "missing": 1,
+        }
+        assert not status.complete
+        assert status.trials_completed == len(plan.shard_trials(0))
+
+    def test_all_receipts_means_complete(self, tmp_path):
+        plan = self._plan()
+        plan.write(tmp_path / "plan")
+        for shard in range(2):
+            run_shard(
+                tmp_path / "plan" / f"shard-{shard}.json",
+                tmp_path / f"s{shard}",
+            )
+        # Parent-directory expansion finds both shard caches.
+        status = fleet_status(plan, [tmp_path])
+        assert status.complete
+        assert status.trials_completed == len(plan.trials)
+
+    def test_receiptless_dir_is_running_then_stalled(self, tmp_path):
+        import time as _time
+
+        plan = self._plan()
+        plan.write(tmp_path / "plan")
+        run_shard(tmp_path / "plan" / "shard-0.json", tmp_path / "s0")
+        (tmp_path / "s0" / RECEIPT_FILENAME).unlink()  # worker mid-shard
+        running = fleet_status(plan, [tmp_path / "s0"], stall_sec=3600)
+        assert running.shards[0].state == "running"
+        assert 0 < running.shards[0].completed <= running.shards[0].planned
+        stalled = fleet_status(
+            plan, [tmp_path / "s0"], stall_sec=60,
+            now=_time.time() + 3600,
+        )
+        assert stalled.shards[0].state == "stalled"
+        assert stalled.shards[0].age_sec > 60
+
+    def test_foreign_receipt_is_ignored_not_fatal(self, tmp_path):
+        plan = self._plan()
+        other = small_plan(num_shards=2, trials=1)
+        other.write(tmp_path / "other-plan")
+        run_shard(tmp_path / "other-plan" / "shard-1.json", tmp_path / "x")
+        status = fleet_status(plan, [tmp_path / "x"])
+        assert status.foreign_dirs == [str(tmp_path / "x")]
+        assert all(s.state == "missing" for s in status.shards)
+
+    def test_status_json_round_trips(self, tmp_path):
+        plan = self._plan()
+        plan.write(tmp_path / "plan")
+        run_shard(tmp_path / "plan" / "shard-0.json", tmp_path / "s0")
+        payload = fleet_status(
+            plan, [tmp_path / "s0", tmp_path / "missing"]
+        ).to_json()
+        payload = json.loads(json.dumps(payload))  # pure JSON
+        assert payload["plan_id"] == plan.plan_id
+        assert payload["counts"]["done"] == 1
+        assert payload["complete"] is False
+        assert len(payload["shards"]) == 2
+
+    def test_cli_status_exit_code_tracks_completion(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_dir = tmp_path / "plan"
+        self._plan().write(plan_dir)
+        assert main([
+            "fleet", "run-shard", str(plan_dir / "shard-0.json"),
+            "--cache-dir", str(tmp_path / "s0"),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "fleet", "status", str(plan_dir / "plan.json"),
+            str(tmp_path / "s0"), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1  # shard 1 still missing
+        assert payload["counts"]["missing"] == 1
+        assert main([
+            "fleet", "run-shard", str(plan_dir / "shard-1.json"),
+            "--cache-dir", str(tmp_path / "s1"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "fleet", "status", str(plan_dir / "plan.json"),
+            str(tmp_path / "s0"), str(tmp_path / "s1"),
+        ]) == 0
+        assert "2 done" in capsys.readouterr().out
+
+
+class TestReceiptTelemetry:
+    """Satellite: per-shard RunnerStats + obs metrics survive the merge."""
+
+    def test_receipt_carries_metrics_snapshot(self, tmp_path):
+        plan = small_plan(num_shards=1, trials=2)
+        plan.write(tmp_path / "plan")
+        receipt = run_shard(
+            tmp_path / "plan" / "shard-0.json", tmp_path / "s0"
+        )
+        metrics = receipt.metrics["metrics"]
+        assert metrics["sim.trials"]["value"] == len(plan.trials)
+        assert metrics["sim.packets"]["value"] > 0
+        assert metrics["sim.wall_sec"]["count"] == len(plan.trials)
+        # The receipt on disk round-trips the snapshot.
+        reloaded = ShardReceipt.load(tmp_path / "s0")
+        assert reloaded.metrics == receipt.metrics
+
+    def test_merge_aggregates_per_shard_stats_and_metrics(self, tmp_path):
+        plan = small_plan(
+            num_shards=2, trials=2,
+            ids=["iperf_cubic", "iperf_reno", "iperf_bbr"],
+        )
+        plan.write(tmp_path / "plan")
+        dirs = []
+        for shard in range(2):
+            run_shard(
+                tmp_path / "plan" / f"shard-{shard}.json",
+                tmp_path / f"s{shard}",
+            )
+            dirs.append(tmp_path / f"s{shard}")
+        report = merge_shards(plan, dirs, tmp_path / "merged")
+        assert sorted(report.per_shard_stats) == [0, 1]
+        assert sum(
+            s.trials_run for s in report.per_shard_stats.values()
+        ) == report.stats.trials_run == len(plan.trials)
+        assert report.metrics["metrics"]["sim.trials"]["value"] \
+            == len(plan.trials)
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["per_shard_stats"]["0"]["trials_run"] \
+            == report.per_shard_stats[0].trials_run
