@@ -8,8 +8,11 @@ the exact same code.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick]
+        [--compare BASELINE] [--fail-threshold F] [--profile [SCENARIO]]
 
-which is equivalent to ``PYTHONPATH=src python -m repro bench [--quick]``.
+which is equivalent to ``PYTHONPATH=src python -m repro bench`` with the
+same flags (``--compare`` exits non-zero on regression; ``--profile``
+prints a cProfile summary of one scenario instead of benchmarking).
 """
 
 import sys

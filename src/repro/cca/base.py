@@ -27,14 +27,12 @@ class CongestionControl:
     name = "fixed"
 
     def __init__(self, cwnd_packets: float = 10.0) -> None:
-        self._cwnd = float(cwnd_packets)
+        #: Congestion window in packets.  A plain attribute rather than a
+        #: property: the connection send loop reads it on every ACK, and a
+        #: property descriptor would add a call frame to that hot path.
+        self.cwnd_packets = float(cwnd_packets)
 
     # --- control outputs -------------------------------------------------
-
-    @property
-    def cwnd_packets(self) -> float:
-        """Congestion window in packets."""
-        return self._cwnd
 
     @property
     def pacing_rate_bps(self) -> Optional[float]:

@@ -106,6 +106,9 @@ class BBRv1(CongestionControl):
         self._conservation_until_round = -1
         self._drain_start_usec: Optional[int] = None
         self._mss = units.MSS_BYTES
+        # True when _update_cwnd is not overridden: on_ack then runs the
+        # base body inline instead of paying a virtual dispatch per ACK.
+        self._update_cwnd_is_base = type(self)._update_cwnd is BBRv1._update_cwnd
 
     # ------------------------------------------------------------------
     # Control outputs
@@ -113,7 +116,9 @@ class BBRv1(CongestionControl):
 
     @property
     def pacing_rate_bps(self) -> Optional[float]:
-        bw = self._btlbw.get()
+        # Read once per _send_loop: .best is the filter's frame-free
+        # mirror of .get().
+        bw = self._btlbw.best
         if bw <= 0:
             return None
         return self._pacing_gain * bw
@@ -131,7 +136,7 @@ class BBRv1(CongestionControl):
         return self._min_rtt_usec
 
     def _bdp_packets(self, gain: float = 1.0) -> float:
-        bw = self._btlbw.get()
+        bw = self._btlbw.best
         if bw <= 0 or self._min_rtt_usec is None:
             return float(INITIAL_WINDOW)
         bdp = bw * self._min_rtt_usec / units.USEC_PER_SEC / 8.0 / self._mss
@@ -163,13 +168,117 @@ class BBRv1(CongestionControl):
         self._min_rtt_stamp = conn.engine.now
 
     def on_ack(self, conn, packet, rtt_usec: int, rate_sample: RateSample) -> None:
+        """Flattened per-ACK update (see DESIGN.md, "Per-ACK CCA path").
+
+        One call frame performs the whole
+        round/btlbw/min-rtt/full-pipe/state-machine sequence that the
+        ``_update_*`` methods below express step by step; those methods
+        are kept as the readable reference and for white-box tests, and
+        each one's logic appears here verbatim, in the same order, so the
+        simulation stays bit-identical with the unflattened chain.
+        ``_update_cwnd`` is inlined too when the subclass does not
+        override it (``_update_cwnd_is_base``); BBRv3's override takes a
+        real virtual call.  A subclass overriding any *other*
+        ``_update_*`` step must override ``on_ack`` as well.
+        """
         now = conn.engine.now
-        self._update_round(conn, packet)
-        self._update_btlbw(rate_sample)
-        min_rtt_expired = self._update_min_rtt(now, rtt_usec)
-        self._check_full_pipe(rate_sample)
-        self._update_state_machine(conn, now, min_rtt_expired)
-        self._update_cwnd(conn)
+        params = self.params
+
+        # --- round accounting (_update_round) ---
+        if packet.delivered >= self._next_round_delivered:
+            self._next_round_delivered = conn.sampler.delivered
+            self._round_count += 1
+            round_start = True
+        else:
+            round_start = False
+        self._round_start = round_start
+
+        # --- bottleneck-bandwidth filter (_update_btlbw) ---
+        btlbw = self._btlbw
+        state = self._state
+        rate = rate_sample.delivery_rate_bps
+        if rate > 0:
+            current_bw = btlbw.best
+            if state == DRAIN and rate < current_bw:
+                # Drain deliberately under-paces; letting its low samples
+                # age the max filter out collapses the model before
+                # PROBE_BW ever starts (the window is only 10 rounds).
+                pass
+            elif rate >= current_bw or not rate_sample.is_app_limited:
+                btlbw.update(rate, self._round_count)
+
+        # --- min-RTT filter (_update_min_rtt) ---
+        min_rtt = self._min_rtt_usec
+        min_rtt_expired = now - self._min_rtt_stamp > params.min_rtt_window_usec
+        if min_rtt is None or rtt_usec <= min_rtt or min_rtt_expired:
+            self._min_rtt_usec = rtt_usec
+            self._min_rtt_stamp = now
+
+        # --- full-pipe detection (_check_full_pipe) ---
+        if not self._filled_pipe and round_start and not rate_sample.is_app_limited:
+            bw = btlbw.best
+            if bw >= self._full_bw * params.full_bw_threshold:
+                self._full_bw = bw
+                self._full_bw_count = 0
+            else:
+                self._full_bw_count += 1
+                if self._full_bw_count >= params.full_bw_rounds:
+                    self._filled_pipe = True
+
+        # --- state machine (_update_state_machine) ---
+        if state == STARTUP and self._filled_pipe:
+            self._state = state = DRAIN
+            self._drain_start_usec = now
+            self._pacing_gain = params.drain_gain
+            self._cwnd_gain = params.high_gain
+        if state == DRAIN:
+            srtt = conn.rtt.srtt_usec or units.msec(100)
+            drain_timed_out = (
+                self._drain_start_usec is not None
+                and now - self._drain_start_usec > 3 * srtt
+            )
+            if conn.inflight_packets <= self._bdp_packets() or drain_timed_out:
+                self._enter_probe_bw(now)
+                state = self._state
+        if state == PROBE_BW:
+            self._advance_cycle_if_due(conn, now)
+        # --- ProbeRTT entry/exit (_maybe_enter_probe_rtt / _handle_probe_rtt) ---
+        if state != PROBE_RTT:
+            if self._min_rtt_usec is not None and min_rtt_expired:
+                self._state = PROBE_RTT
+                self._pacing_gain = 1.0
+                self._cwnd_gain = 1.0
+                self._probe_rtt_done_stamp = None
+        if self._state == PROBE_RTT:
+            self._handle_probe_rtt(conn, now)
+
+        # --- cwnd (_update_cwnd) ---
+        if not self._update_cwnd_is_base:
+            # Subclass override (BBRv3's inflight_hi bound): virtual call.
+            self._update_cwnd(conn)
+        elif self._state == PROBE_RTT:
+            # BBRv1._update_cwnd inlined below — kept in lockstep with the
+            # method; edit both together.
+            self.cwnd_packets = params.min_cwnd_packets
+        else:
+            bw = btlbw.best
+            min_rtt = self._min_rtt_usec
+            if bw <= 0 or min_rtt is None:
+                scaled_bdp = float(INITIAL_WINDOW)
+            else:
+                scaled_bdp = self._cwnd_gain * (
+                    bw * min_rtt / units.USEC_PER_SEC / 8.0 / self._mss
+                )
+            target = max(scaled_bdp, params.min_cwnd_packets)
+            if (
+                params.recovery_packet_conservation
+                and self._round_count <= self._conservation_until_round
+            ):
+                target = min(
+                    target,
+                    max(float(conn.inflight_packets + 1), params.min_cwnd_packets),
+                )
+            self.cwnd_packets = target
 
     def _update_round(self, conn, packet) -> None:
         if packet.delivered >= self._next_round_delivered:
@@ -239,7 +348,7 @@ class BBRv1(CongestionControl):
                 self._enter_probe_bw(now)
         if self._state == PROBE_BW:
             self._advance_cycle_if_due(conn, now)
-        self._maybe_enter_probe_rtt(conn, now, min_rtt_expired)
+        self._maybe_enter_probe_rtt(min_rtt_expired)
         if self._state == PROBE_RTT:
             self._handle_probe_rtt(conn, now)
 
@@ -286,9 +395,7 @@ class BBRv1(CongestionControl):
         self._cycle_stamp = now
         self._set_cycle_gain()
 
-    def _maybe_enter_probe_rtt(
-        self, conn, now: int, min_rtt_expired: bool
-    ) -> None:
+    def _maybe_enter_probe_rtt(self, min_rtt_expired: bool) -> None:
         if self._state == PROBE_RTT:
             return
         if self._min_rtt_usec is None:
@@ -320,9 +427,19 @@ class BBRv1(CongestionControl):
     def _update_cwnd(self, conn) -> None:
         params = self.params
         if self._state == PROBE_RTT:
-            self._cwnd = params.min_cwnd_packets
+            self.cwnd_packets = params.min_cwnd_packets
             return
-        target = max(self._bdp_packets(self._cwnd_gain), params.min_cwnd_packets)
+        # Inlined _bdp_packets(self._cwnd_gain): this runs once per ACK
+        # (virtually dispatched from the flattened on_ack).
+        bw = self._btlbw.best
+        min_rtt = self._min_rtt_usec
+        if bw <= 0 or min_rtt is None:
+            scaled_bdp = float(INITIAL_WINDOW)
+        else:
+            scaled_bdp = self._cwnd_gain * (
+                bw * min_rtt / units.USEC_PER_SEC / 8.0 / self._mss
+            )
+        target = max(scaled_bdp, params.min_cwnd_packets)
         if (
             params.recovery_packet_conservation
             and self._round_count <= self._conservation_until_round
@@ -331,7 +448,7 @@ class BBRv1(CongestionControl):
                 target,
                 max(float(conn.inflight_packets + 1), params.min_cwnd_packets),
             )
-        self._cwnd = target
+        self.cwnd_packets = target
 
     def on_loss_event(self, conn, now: int) -> None:
         if self.params.recovery_packet_conservation:
@@ -340,7 +457,7 @@ class BBRv1(CongestionControl):
     def on_rto(self, conn, now: int) -> None:
         # Linux BBR collapses to a minimal window on RTO and rebuilds from
         # its (retained) model once delivery resumes.
-        self._cwnd = self.params.min_cwnd_packets
+        self.cwnd_packets = self.params.min_cwnd_packets
         self._conservation_until_round = self._round_count + 1
 
     def on_idle_restart(self, conn, idle_usec: int) -> None:

@@ -30,6 +30,8 @@ HEADROOM = 0.85
 #: Per-probing-round regrowth of inflight_hi.
 PROBE_GROWTH = 1.25
 
+_INF = float("inf")
+
 
 class BBRv3(BBRv1):
     """BBRv1 machinery plus the v3 loss-bounded inflight model."""
@@ -50,27 +52,31 @@ class BBRv3(BBRv1):
         self._last_loss_round = self._round_count
 
     def on_ack(self, conn, packet, rtt_usec: int, rate_sample: RateSample) -> None:
+        # The whole v1 update runs as one flattened frame (see BBRv1.on_ack),
+        # including the virtual _update_cwnd dispatch back into this class.
         super().on_ack(conn, packet, rtt_usec, rate_sample)
         # Regrow the ceiling while probing up cleanly (no loss this round).
+        inflight_hi = self._inflight_hi
         if (
-            self._inflight_hi != float("inf")
+            inflight_hi != _INF
             and self._round_start
             and self._cycle_index == 0
             and self._round_count > self._last_loss_round
         ):
-            self._inflight_hi *= PROBE_GROWTH
-            if self._inflight_hi > 4 * self._bdp_packets(self.params.cwnd_gain_probe):
-                self._inflight_hi = float("inf")
+            inflight_hi *= PROBE_GROWTH
+            if inflight_hi > 4 * self._bdp_packets(self.params.cwnd_gain_probe):
+                inflight_hi = _INF
+            self._inflight_hi = inflight_hi
 
     def _update_cwnd(self, conn) -> None:
         super()._update_cwnd(conn)
-        if self._inflight_hi == float("inf"):
+        bound = self._inflight_hi
+        if bound == _INF:
             return
         if self._state == "probe_rtt":
             return
-        bound = self._inflight_hi
         if self._cycle_index != 0:
             bound *= HEADROOM
-        self._cwnd = max(
-            min(self._cwnd, bound), self.params.min_cwnd_packets
+        self.cwnd_packets = max(
+            min(self.cwnd_packets, bound), self.params.min_cwnd_packets
         )

@@ -26,7 +26,7 @@ class NewReno(CongestionControl):
 
     @property
     def in_slow_start(self) -> bool:
-        return self._cwnd < self.ssthresh
+        return self.cwnd_packets < self.ssthresh
 
     @property
     def pacing_rate_bps(self) -> Optional[float]:
@@ -38,20 +38,22 @@ class NewReno(CongestionControl):
             # recovery point is passed (NewReno's partial-ACK behaviour is
             # approximated by the SACK scoreboard retransmitting holes).
             return
-        if self.in_slow_start:
-            self._cwnd += 1.0
+        # Hot path: one cwnd read, one write (in_slow_start inlined).
+        cwnd = self.cwnd_packets
+        if cwnd < self.ssthresh:
+            self.cwnd_packets = cwnd + 1.0
         else:
-            self._cwnd += 1.0 / self._cwnd
+            self.cwnd_packets = cwnd + 1.0 / cwnd
 
     def on_loss_event(self, conn, now: int) -> None:
-        self.ssthresh = max(self._cwnd / 2.0, _MIN_CWND)
-        self._cwnd = self.ssthresh
+        self.ssthresh = max(self.cwnd_packets / 2.0, _MIN_CWND)
+        self.cwnd_packets = self.ssthresh
 
     def on_rto(self, conn, now: int) -> None:
-        self.ssthresh = max(self._cwnd / 2.0, _MIN_CWND)
-        self._cwnd = 1.0
+        self.ssthresh = max(self.cwnd_packets / 2.0, _MIN_CWND)
+        self.cwnd_packets = 1.0
 
     def on_idle_restart(self, conn, idle_usec: int) -> None:
         # RFC 2861 congestion-window validation: restart from the initial
         # window after a long idle period instead of blasting a stale cwnd.
-        self._cwnd = min(self._cwnd, float(INITIAL_WINDOW))
+        self.cwnd_packets = min(self.cwnd_packets, float(INITIAL_WINDOW))

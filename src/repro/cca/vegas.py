@@ -45,35 +45,38 @@ class Vegas(CongestionControl):
 
     @property
     def in_slow_start(self) -> bool:
-        return self._cwnd < self.ssthresh
+        return self.cwnd_packets < self.ssthresh
 
     def on_ack(self, conn, packet, rtt_usec: int, rate_sample: RateSample) -> None:
-        if self.base_rtt_usec is None or rtt_usec < self.base_rtt_usec:
-            self.base_rtt_usec = rtt_usec
+        # Hot path: state hoisted into locals, one cwnd write per branch.
+        base_rtt = self.base_rtt_usec
+        if base_rtt is None or rtt_usec < base_rtt:
+            self.base_rtt_usec = base_rtt = rtt_usec
         if conn.in_recovery:
             return
+        cwnd = self.cwnd_packets
         # Expected vs actual rate, expressed as queued-packet surplus.
-        diff = self._cwnd * (rtt_usec - self.base_rtt_usec) / max(rtt_usec, 1)
-        if self.in_slow_start:
+        diff = cwnd * (rtt_usec - base_rtt) / max(rtt_usec, 1)
+        if cwnd < self.ssthresh:  # in_slow_start
             # Vegas slow start: exit as soon as queueing appears.
             if diff > self.alpha:
-                self.ssthresh = self._cwnd
+                self.ssthresh = cwnd
             else:
-                self._cwnd += 0.5  # slower-than-Reno doubling
+                self.cwnd_packets = cwnd + 0.5  # slower-than-Reno doubling
             return
         if diff < self.alpha:
-            self._cwnd += 1.0 / self._cwnd
+            self.cwnd_packets = cwnd + 1.0 / cwnd
         elif diff > self.beta:
-            self._cwnd = max(self._cwnd - 1.0 / self._cwnd, _MIN_CWND)
+            self.cwnd_packets = max(cwnd - 1.0 / cwnd, _MIN_CWND)
         # else: hold - the operating point is inside [alpha, beta].
 
     def on_loss_event(self, conn, now: int) -> None:
-        self.ssthresh = max(self._cwnd * 0.75, _MIN_CWND)
-        self._cwnd = self.ssthresh
+        self.ssthresh = max(self.cwnd_packets * 0.75, _MIN_CWND)
+        self.cwnd_packets = self.ssthresh
 
     def on_rto(self, conn, now: int) -> None:
-        self.ssthresh = max(self._cwnd / 2.0, _MIN_CWND)
-        self._cwnd = 2.0
+        self.ssthresh = max(self.cwnd_packets / 2.0, _MIN_CWND)
+        self.cwnd_packets = 2.0
 
     def on_idle_restart(self, conn, idle_usec: int) -> None:
-        self._cwnd = min(self._cwnd, float(INITIAL_WINDOW))
+        self.cwnd_packets = min(self.cwnd_packets, float(INITIAL_WINDOW))

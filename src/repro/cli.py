@@ -270,8 +270,11 @@ def cmd_cycle(args) -> int:
 
 def cmd_bench(args) -> int:
     """Run the netsim hot-path benchmark suite and write BENCH_netsim.json."""
-    from .bench import compare, run_benchmark
+    from .bench import compare, profile_scenario, run_benchmark
 
+    if args.profile:
+        profile_scenario(args.profile)
+        return 0
     payload = run_benchmark(
         quick=args.quick,
         duration_sec=args.duration,
@@ -283,15 +286,16 @@ def cmd_bench(args) -> int:
         fh.write("\n")
     if args.json:
         print(json.dumps(payload, indent=1, sort_keys=True))
-        return 0
-    for name, row in payload["scenarios"].items():
-        print(
-            f"{name:<24} {row['pkts_per_sec']:>9,.0f} pkts/s  "
-            f"{row['sim_sec_per_wall_sec']:>6.1f} sim-sec/wall-sec  "
-            f"({row['packets']:,} pkts in {row['wall_sec']:.2f}s)"
-        )
-    print(f"wrote {args.output}")
+    else:
+        for name, row in payload["scenarios"].items():
+            print(
+                f"{name:<24} {row['pkts_per_sec']:>9,.0f} pkts/s  "
+                f"{row['sim_sec_per_wall_sec']:>6.1f} sim-sec/wall-sec  "
+                f"({row['packets']:,} pkts in {row['wall_sec']:.2f}s)"
+            )
+        print(f"wrote {args.output}")
     if args.baseline:
+        # Informational delta: tolerate a missing/corrupt baseline.
         try:
             with open(args.baseline) as fh:
                 baseline = json.load(fh)
@@ -299,8 +303,31 @@ def cmd_bench(args) -> int:
             print(f"baseline {args.baseline!r} unreadable: {exc}",
                   file=sys.stderr)
             return 0  # non-blocking by design
-        for line in compare(baseline, payload):
+        lines, _regressions = compare(baseline, payload)
+        for line in lines:
             print(f"  delta {line}")
+    if args.compare:
+        # Blocking gate: an unreadable baseline is an error here, and a
+        # regression beyond --fail-threshold fails the run (CI uses this).
+        try:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"compare baseline {args.compare!r} unreadable: {exc}",
+                  file=sys.stderr)
+            return 2
+        lines, regressions = compare(baseline, payload, args.fail_threshold)
+        for line in lines:
+            print(f"  delta {line}")
+        if regressions:
+            print(
+                f"FAIL: {len(regressions)} scenario(s) regressed more than "
+                f"{args.fail_threshold * 100:.0f}% vs {args.compare}:",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -404,7 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--quick", action="store_true",
-        help="short CI-smoke variant (3 sim-sec, 1 repeat)",
+        help="short CI-smoke variant (10 sim-sec, 3 repeats)",
     )
     p.add_argument(
         "--duration", type=float, default=None,
@@ -424,6 +451,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None,
         help="print non-blocking per-scenario deltas vs this baseline "
              "file (e.g. the committed BENCH_netsim.json)",
+    )
+    p.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="blocking variant of --baseline: exit 1 if any scenario's "
+             "p50 pkts/sec drops more than --fail-threshold, exit 2 if "
+             "the baseline file is unreadable (CI's bench-smoke gate)",
+    )
+    p.add_argument(
+        "--fail-threshold", type=float, default=0.15, metavar="FRACTION",
+        help="fractional pkts/sec drop that fails --compare "
+             "(default: 0.15)",
+    )
+    p.add_argument(
+        "--profile", nargs="?", const="pair-50mbps-trace-off",
+        metavar="SCENARIO",
+        help="cProfile one scenario instead of benchmarking (default "
+             "scenario: pair-50mbps-trace-off)",
     )
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_bench)

@@ -18,6 +18,12 @@ Hot-path notes (see DESIGN.md, "simulator hot path"):
   reads (cwnd, pacing rate, counter dicts) into locals; the pacing gap is
   cached keyed on the pacing rate, which only changes when the CCA moves
   it.
+* ``_handle_ack`` batches the whole per-ACK sequence into one frame: the
+  RTT-estimator and rate-sampler updates are inlined from their reference
+  methods, the CCA callback goes through a bound method cached at init
+  (``cca`` is never reassigned), and loss detection is inlined, so a
+  delivered packet costs one call into the CCA instead of a frame per
+  sub-step.
 * Retired :class:`~repro.netsim.packet.Packet` objects are recycled
   through a flow-owned free list (``PACKET_POOL_SIZE``; set to 0 to
   disable).  A packet is recycled only once its network/ACK event chain
@@ -121,9 +127,12 @@ class Connection:
         self._gap_rate = -1.0
         self._gap_usec = 0
 
-        # Bound-method caches so per-packet scheduling allocates nothing.
+        # Bound-method caches so per-packet scheduling allocates nothing,
+        # and so the per-ACK path skips repeated attribute resolution
+        # (cca/rtt/sampler are assigned once, here, and never replaced).
         self._ack_cb = self._handle_ack
         self._send_loop_cb = self._send_loop
+        self._cca_on_ack = cca.on_ack
 
         # Free list of retired packets (see module docstring).
         self._pool: list = []
@@ -215,8 +224,16 @@ class Connection:
         engine = self.engine
         # cwnd and the pacing rate only move in CCA callbacks (ACK, loss,
         # RTO), none of which can run inside this loop, so hoist them.
-        cwnd = self.cca.cwnd_packets
-        pacing = self._effective_pacing_rate()
+        cca = self.cca
+        cwnd = cca.cwnd_packets
+        # Inlined _effective_pacing_rate (one call frame per ACK saved;
+        # min(rate, cap) written out so equal values pick the same operand).
+        pacing = cca.pacing_rate_bps
+        cap = self.server_rate_cap_bps
+        if pacing is None:
+            pacing = cap
+        elif cap is not None and cap < pacing:
+            pacing = cap
         if pacing is not None and pacing > 0:
             if pacing != self._gap_rate:
                 self._gap_rate = pacing
@@ -332,6 +349,18 @@ class Connection:
     # ------------------------------------------------------------------
 
     def _handle_ack(self, packet: Packet) -> None:
+        """Per-ACK bookkeeping, batched into one frame.
+
+        The sub-steps the seed code expressed as separate calls (RTT
+        sample, rate sample, CCA callback, loss detection, RTO rearm,
+        send restart) run here back to back: the RTT-estimator and
+        rate-sampler updates are inlined from their reference methods
+        (``RttEstimator.on_rtt_sample`` / ``RateSampler.on_ack``, kept in
+        lockstep), and ``_detect_losses`` is inlined verbatim because
+        every in-order ACK walks it to retire its own packet.  One
+        delivered packet therefore costs exactly one call into the CCA
+        (``cca.on_ack``, itself flattened) plus the send loop.
+        """
         now = self.engine.now
         self._last_activity = now
         seq = packet.seq
@@ -343,9 +372,53 @@ class Connection:
             self.bytes_acked += packet.size_bytes
             rtt_sample = now - packet.sent_time
             if not packet.is_retransmit:
-                self.rtt.on_rtt_sample(rtt_sample)
-            rate_sample = self.sampler.on_ack(packet, now, rtt_sample)
-            self.cca.on_ack(self, packet, rtt_sample, rate_sample)
+                # RttEstimator.on_rtt_sample inlined (lockstep with
+                # rtt.py).  rtt_sample > 0 by construction - the path's
+                # propagation delay is positive - so the reference
+                # method's ValueError guard cannot fire here.
+                rtt = self.rtt
+                rtt.latest_rtt_usec = rtt_sample
+                if rtt.min_rtt_usec is None or rtt_sample < rtt.min_rtt_usec:
+                    rtt.min_rtt_usec = rtt_sample
+                srtt = rtt.srtt_usec
+                if srtt is None:
+                    rtt.srtt_usec = srtt = float(rtt_sample)
+                    rtt.rttvar_usec = rtt_sample / 2.0
+                else:
+                    delta = abs(srtt - rtt_sample)
+                    rtt.rttvar_usec = (
+                        1 - rtt.BETA
+                    ) * rtt.rttvar_usec + rtt.BETA * delta
+                    rtt.srtt_usec = srtt = (
+                        1 - rtt.ALPHA
+                    ) * srtt + rtt.ALPHA * rtt_sample
+                rtt._backoff = 1
+                base = int(srtt + max(4 * rtt.rttvar_usec, 1000))
+                rto = max(rtt.MIN_RTO_USEC, base)
+                rtt.rto_usec = rto if rto < rtt.MAX_RTO_USEC else rtt.MAX_RTO_USEC
+            # RateSampler.on_ack inlined (lockstep with rate_sampler.py);
+            # the sampler's single reused RateSample is mutated in place.
+            sampler = self.sampler
+            delivered = sampler.delivered + packet.size_bytes
+            sampler.delivered = delivered
+            sampler.delivered_time = now
+            sent_time = packet.sent_time
+            send_elapsed = sent_time - packet.first_sent_time
+            ack_elapsed = now - packet.delivered_time
+            sampler.first_sent_time = sent_time
+            interval = send_elapsed if send_elapsed >= ack_elapsed else ack_elapsed
+            delivered_bytes = delivered - packet.delivered
+            if interval <= 0:
+                rate = 0.0
+            else:
+                rate = delivered_bytes * 8 * units.USEC_PER_SEC / interval
+            rate_sample = sampler._sample
+            rate_sample.delivery_rate_bps = rate
+            rate_sample.delivered_bytes = delivered_bytes
+            rate_sample.interval_usec = interval
+            rate_sample.is_app_limited = packet.is_app_limited
+            rate_sample.rtt_usec = rtt_sample
+            self._cca_on_ack(self, packet, rtt_sample, rate_sample)
         if seq > self.highest_acked:
             self.highest_acked = seq
         tx = packet.tx_index
@@ -354,12 +427,45 @@ class Connection:
         # This ACK is the end of the packet's event chain.
         packet._chain_done = True
         was_in_order = packet._in_order
-        self._detect_losses()
-        # Rearm the RTO (inlined _rearm_rto): with the lazy timer this is
-        # just a deadline store on the common path.
+        # Loss detection (inlined _detect_losses; see that method for the
+        # algorithm notes - the bodies are kept in lockstep).
+        order = self._order
+        if order:
+            threshold = self._highest_acked_tx - DUPTHRESH
+            pool = self._pool
+            pool_max = self._pool_max
+            while order:
+                pkt = order[0]
+                pkt_seq = pkt.seq
+                live = inflight.get(pkt_seq)
+                if live is not pkt:
+                    # Already acknowledged (or superseded by a retransmission).
+                    order.popleft()
+                    pkt._in_order = False
+                    if pkt._chain_done and len(pool) < pool_max:
+                        pool.append(pkt)
+                    continue
+                if pkt.tx_index <= threshold:
+                    order.popleft()
+                    pkt._in_order = False
+                    del inflight[pkt_seq]
+                    self._rtx_queue.append(pkt_seq)
+                    self.packets_marked_lost += 1
+                    self._on_loss(pkt_seq)
+                    if pkt._chain_done and len(pool) < pool_max:
+                        pool.append(pkt)
+                else:
+                    break
+        # Rearm the RTO (inlined Timer.schedule_at): with the lazy timer
+        # this is just a deadline store on the common path, because the
+        # single heap event already exists while data is outstanding.
         rto_timer = self._rto_timer
         if inflight or self._rtx_queue:
-            rto_timer.schedule_at(now + self.rtt.rto_usec)
+            when = now + self.rtt.rto_usec
+            rto_timer.deadline = when
+            if rto_timer._event_at is None:
+                rto_timer._event_at = when
+                self.engine.schedule_at(when, rto_timer._fire)
         else:
             rto_timer.deadline = None
         if not self._send_event_pending:
@@ -379,6 +485,10 @@ class Connection:
         earlier transmission must have either arrived or been dropped.  We
         keep the classic 3-packet reordering tolerance (dupthresh) before
         declaring a hole lost, matching fast-retransmit timing.
+
+        ``_handle_ack`` inlines this body on the per-ACK hot path; the
+        method remains the canonical statement of the algorithm (and the
+        entry point for white-box tests), so keep the two in lockstep.
         """
         order = self._order
         if not order:

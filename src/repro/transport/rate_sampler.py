@@ -75,7 +75,11 @@ class RateSampler:
         self.app_limited_until = self.delivered + max(inflight_bytes, 1)
 
     def on_ack(self, packet: Packet, now: int, rtt_usec: int) -> RateSample:
-        """Compute the rate sample for a freshly ACKed packet."""
+        """Compute the rate sample for a freshly ACKed packet.
+
+        ``Connection._handle_ack`` inlines this body on the per-ACK hot
+        path; keep the two in lockstep.
+        """
         self.delivered += packet.size_bytes
         self.delivered_time = now
         send_elapsed = packet.sent_time - packet.first_sent_time

@@ -21,10 +21,18 @@ class RttEstimator:
         self.latest_rtt_usec: Optional[int] = None
         self.min_rtt_usec: Optional[int] = None
         self._backoff = 1
-        self._rto_usec = self._compute_rto()
+        #: Current retransmission timeout, including backoff.  A plain
+        #: attribute (not a property): it is read once per ACK by the
+        #: connection's rearm path, so it is recomputed on state changes
+        #: (sample/backoff) rather than per read.
+        self.rto_usec = self._compute_rto()
 
     def on_rtt_sample(self, rtt_usec: int) -> None:
-        """Feed one RTT measurement (never from retransmitted packets)."""
+        """Feed one RTT measurement (never from retransmitted packets).
+
+        ``Connection._handle_ack`` inlines this body on the per-ACK hot
+        path; keep the two in lockstep.
+        """
         if rtt_usec <= 0:
             raise ValueError("RTT samples must be positive")
         self.latest_rtt_usec = rtt_usec
@@ -38,7 +46,11 @@ class RttEstimator:
             self.rttvar_usec = (1 - self.BETA) * self.rttvar_usec + self.BETA * delta
             self.srtt_usec = (1 - self.ALPHA) * self.srtt_usec + self.ALPHA * rtt_usec
         self._backoff = 1
-        self._rto_usec = self._compute_rto()
+        # Inlined _compute_rto (per-ACK path; backoff is 1 right here and
+        # srtt is non-None, so the clamp chain simplifies accordingly).
+        base = int(self.srtt_usec + max(4 * self.rttvar_usec, 1000))
+        rto = max(self.MIN_RTO_USEC, base)
+        self.rto_usec = rto if rto < self.MAX_RTO_USEC else self.MAX_RTO_USEC
 
     def _compute_rto(self) -> int:
         if self.srtt_usec is None:
@@ -48,16 +60,7 @@ class RttEstimator:
         rto = max(self.MIN_RTO_USEC, base) * self._backoff
         return min(rto, self.MAX_RTO_USEC)
 
-    @property
-    def rto_usec(self) -> int:
-        """Current retransmission timeout, including backoff.
-
-        Read once per ACK by the connection's rearm path, so the value is
-        recomputed on state changes (sample/backoff) rather than per read.
-        """
-        return self._rto_usec
-
     def backoff(self) -> None:
         """Double the RTO after a timeout fires."""
         self._backoff = min(self._backoff * 2, 64)
-        self._rto_usec = self._compute_rto()
+        self.rto_usec = self._compute_rto()

@@ -4,6 +4,15 @@ BBR tracks its bandwidth estimate as a windowed maximum over ~10 round
 trips and its min-RTT as a windowed minimum over 10 seconds.  This is the
 standard three-estimate implementation: the best value plus two runners-up
 that take over as the best value ages out.
+
+Hot-path notes (see DESIGN.md, "Per-ACK CCA path"): BBR calls
+``WindowedMaxFilter.update`` once per delivered packet, so the concrete
+filters carry a flattened ``update`` with two early-exit fast paths —
+a new-best sample is a straight three-slot reset, and a non-improving
+sample inside the first quarter-subwindow provably changes nothing and
+returns immediately.  Both exits reproduce exactly what the generic
+reference algorithm (kept on :class:`_WindowedFilter`) would do; the
+property test in ``tests/test_windowed_filter.py`` pins the equivalence.
 """
 
 from __future__ import annotations
@@ -12,14 +21,28 @@ from typing import List, Tuple
 
 
 class _WindowedFilter:
-    """Shared machinery; ``_better`` orders candidate samples."""
+    """Shared machinery; ``_better`` orders candidate samples.
+
+    ``update`` here is the straightforward reference implementation
+    (one virtual ``_better`` call per comparison).  The concrete
+    subclasses override it with a flattened fast-path version whose
+    observable behaviour is identical; tests drive this generic version
+    against the overrides to prove it.
+    """
+
+    __slots__ = ("window", "_quarter", "_estimates", "best")
 
     def __init__(self, window: int) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
         self.window = window
+        self._quarter = window // 4
         # (value, time) estimates, best first.
         self._estimates: List[Tuple[float, int]] = []
+        #: Current best value, kept in lockstep with ``_estimates[0][0]``
+        #: (0.0 when empty).  A plain attribute so per-ACK readers (BBR's
+        #: pacing/BDP math) skip the ``get()`` call frame.
+        self.best = 0.0
 
     def _better(self, a: float, b: float) -> bool:
         raise NotImplementedError
@@ -33,48 +56,159 @@ class _WindowedFilter:
         quarter/half-window promotion.
         """
         est = self._estimates
-        if (
-            not est
-            or self._better(value, est[0][0])
-            or now - est[2][1] > self.window
-        ):
-            self._estimates = [(value, now), (value, now), (value, now)]
+        if not est or self._better(value, est[0][0]):
+            sample = (value, now)
+            self._estimates = [sample, sample, sample]
+            self.best = value
+            return value
+        return self._update_slow(value, now)
+
+    def _update_slow(self, value: float, now: int) -> float:
+        """Everything past the empty/new-best checks: aged-out reset,
+        runner-up maintenance, and subwindow promotion.  Shared verbatim
+        by the reference ``update`` and the subclass fast paths."""
+        est = self._estimates
+        window = self.window
+        sample = (value, now)
+        if now - est[2][1] > window:
+            est[0] = est[1] = est[2] = sample
+            self.best = value
             return value
         if self._better(value, est[1][0]):
-            est[1] = (value, now)
-            est[2] = (value, now)
+            est[1] = sample
+            est[2] = sample
         elif self._better(value, est[2][0]):
-            est[2] = (value, now)
+            est[2] = sample
         dt = now - est[0][1]
-        if dt > self.window:
+        if dt > window:
             # Best entry aged out: promote the runners-up.
-            est[0], est[1], est[2] = est[1], est[2], (value, now)
-            if now - est[0][1] > self.window:
-                est[0], est[1], est[2] = est[1], est[2], (value, now)
-        elif est[1][1] == est[0][1] and dt > self.window // 4:
-            est[1] = (value, now)
-            est[2] = (value, now)
-        elif est[2][1] == est[1][1] and dt > self.window // 2:
-            est[2] = (value, now)
-        return self._estimates[0][0]
+            est[0], est[1], est[2] = est[1], est[2], sample
+            if now - est[0][1] > window:
+                est[0], est[1], est[2] = est[1], est[2], sample
+        elif est[1][1] == est[0][1] and dt > self._quarter:
+            est[1] = sample
+            est[2] = sample
+        elif est[2][1] == est[1][1] and dt > window // 2:
+            est[2] = sample
+        best = est[0][0]
+        self.best = best
+        return best
 
     def get(self) -> float:
         """Current best value (0.0 when empty)."""
-        return self._estimates[0][0] if self._estimates else 0.0
+        return self.best
 
     def reset(self, value: float, now: int) -> None:
-        self._estimates = [(value, now), (value, now), (value, now)]
+        sample = (value, now)
+        self._estimates = [sample, sample, sample]
+        self.best = value
 
 
 class WindowedMaxFilter(_WindowedFilter):
     """Windowed maximum (BBR bottleneck-bandwidth filter)."""
 
+    __slots__ = ()
+
     def _better(self, a: float, b: float) -> bool:
         return a >= b
+
+    def update(self, value: float, now: int) -> float:
+        est = self._estimates
+        if not est:
+            sample = (value, now)
+            self._estimates = [sample, sample, sample]
+            self.best = value
+            return value
+        e0 = est[0]
+        if value >= e0[0]:
+            # New best: full reset, no subwindow shuffling to do.
+            sample = (value, now)
+            est[0] = est[1] = est[2] = sample
+            self.best = value
+            return value
+        e2 = est[2]
+        dt = now - e0[1]
+        window = self.window
+        if value < e2[0] and 0 <= dt <= self._quarter and now - e2[1] <= window:
+            # Same-subwindow non-improving sample: beats none of the three
+            # estimates and no promotion deadline has passed, so the
+            # reference algorithm would leave the structure untouched.
+            return e0[0]
+        # Slow path: ``_WindowedFilter._update_slow`` inlined with the
+        # virtual ``_better`` comparisons specialised to ``>=``.  Kept in
+        # lockstep with the reference — edit both together.
+        sample = (value, now)
+        if now - e2[1] > window:
+            est[0] = est[1] = est[2] = sample
+            self.best = value
+            return value
+        if value >= est[1][0]:
+            est[1] = sample
+            est[2] = sample
+        elif value >= e2[0]:
+            est[2] = sample
+        if dt > window:
+            # Best entry aged out: promote the runners-up.
+            est[0], est[1], est[2] = est[1], est[2], sample
+            if now - est[0][1] > window:
+                est[0], est[1], est[2] = est[1], est[2], sample
+        elif est[1][1] == e0[1] and dt > self._quarter:
+            est[1] = sample
+            est[2] = sample
+        elif est[2][1] == est[1][1] and dt > window // 2:
+            est[2] = sample
+        best = est[0][0]
+        self.best = best
+        return best
 
 
 class WindowedMinFilter(_WindowedFilter):
     """Windowed minimum (BBR min-RTT filter)."""
 
+    __slots__ = ()
+
     def _better(self, a: float, b: float) -> bool:
         return a <= b
+
+    def update(self, value: float, now: int) -> float:
+        est = self._estimates
+        if not est:
+            sample = (value, now)
+            self._estimates = [sample, sample, sample]
+            self.best = value
+            return value
+        e0 = est[0]
+        if value <= e0[0]:
+            sample = (value, now)
+            est[0] = est[1] = est[2] = sample
+            self.best = value
+            return value
+        e2 = est[2]
+        dt = now - e0[1]
+        window = self.window
+        if value > e2[0] and 0 <= dt <= self._quarter and now - e2[1] <= window:
+            return e0[0]
+        # Slow path: the reference ``_update_slow`` with ``_better``
+        # specialised to ``<=`` (see WindowedMaxFilter.update).
+        sample = (value, now)
+        if now - e2[1] > window:
+            est[0] = est[1] = est[2] = sample
+            self.best = value
+            return value
+        if value <= est[1][0]:
+            est[1] = sample
+            est[2] = sample
+        elif value <= e2[0]:
+            est[2] = sample
+        if dt > window:
+            est[0], est[1], est[2] = est[1], est[2], sample
+            if now - est[0][1] > window:
+                est[0], est[1], est[2] = est[1], est[2], sample
+        elif est[1][1] == e0[1] and dt > self._quarter:
+            est[1] = sample
+            est[2] = sample
+        elif est[2][1] == est[1][1] and dt > window // 2:
+            est[2] = sample
+        best = est[0][0]
+        self.best = best
+        return best

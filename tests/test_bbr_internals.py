@@ -161,6 +161,122 @@ class TestGainCycle:
             assert cca._cycle_index != 1
 
 
+class TestStateMachineLifecycle:
+    def test_startup_drain_probebw_probertt_sequence(self):
+        """Walk one flow through the full BBRv1 state machine in order."""
+        cca = BBRv1(seed=1)
+        conn = FakeConn()
+        cca.on_connection_init(conn)
+        assert cca.state == STARTUP
+
+        # STARTUP: bandwidth still growing, no transition.
+        for rate in (2, 6, 18):
+            feed(cca, conn, rate)
+        assert cca.state == STARTUP
+
+        # Plateau with a standing queue (inflight far above the BDP):
+        # full-pipe detection must move to DRAIN and *stay* there, since
+        # the queue has not drained yet.
+        conn.inflight_packets = 1000
+        for _ in range(6):
+            feed(cca, conn, 18, rounds=1)
+            if cca.state == DRAIN:
+                break
+        assert cca.state == DRAIN
+        assert cca._pacing_gain == cca.params.drain_gain
+
+        # Queue drained (inflight at/below the BDP): DRAIN -> PROBE_BW.
+        conn.inflight_packets = 0
+        feed(cca, conn, 18, rounds=1)
+        assert cca.state == PROBE_BW
+
+        # min-RTT window expiry: PROBE_BW -> PROBE_RTT at unity gains.
+        feed(cca, conn, 18, rounds=3, rtt_ms=80, step_usec=units.seconds(4))
+        assert cca.state == PROBE_RTT
+        assert cca._pacing_gain == 1.0
+        assert cca.cwnd_packets == cca.params.min_cwnd_packets
+
+        # Inflight below min_cwnd and the probe duration elapsed: back to
+        # PROBE_BW (the pipe was already filled).
+        conn.inflight_packets = 2
+        feed(cca, conn, 18, rounds=1, step_usec=units.msec(50))
+        feed(cca, conn, 18, rounds=1, step_usec=units.msec(300))
+        assert cca.state == PROBE_BW
+
+
+def _reference_on_ack(cca, conn, packet, rtt_usec, rate_sample):
+    """The seed code's per-ACK chain, driven through the reference
+    ``_update_*`` methods that ``BBRv1.on_ack`` inlines."""
+    now = conn.engine.now
+    cca._update_round(conn, packet)
+    cca._update_btlbw(rate_sample)
+    expired = cca._update_min_rtt(now, rtt_usec)
+    cca._check_full_pipe(rate_sample)
+    cca._update_state_machine(conn, now, expired)
+    cca._update_cwnd(conn)
+
+
+def _model_snapshot(cca):
+    return {
+        "state": cca._state,
+        "round_count": cca._round_count,
+        "round_start": cca._round_start,
+        "next_round_delivered": cca._next_round_delivered,
+        "pacing_gain": cca._pacing_gain,
+        "cwnd_gain": cca._cwnd_gain,
+        "cycle_index": cca._cycle_index,
+        "cycle_stamp": cca._cycle_stamp,
+        "min_rtt_usec": cca._min_rtt_usec,
+        "min_rtt_stamp": cca._min_rtt_stamp,
+        "full_bw": cca._full_bw,
+        "full_bw_count": cca._full_bw_count,
+        "filled_pipe": cca._filled_pipe,
+        "probe_rtt_done_stamp": cca._probe_rtt_done_stamp,
+        "cwnd": cca.cwnd_packets,
+        "btlbw_estimates": list(cca._btlbw._estimates),
+        "btlbw_best": cca._btlbw.best,
+    }
+
+
+class TestFlatOnAckMatchesReference:
+    def test_flat_on_ack_equals_update_chain(self):
+        """The flattened ``on_ack`` must be bit-identical, ACK for ACK,
+        with the step-by-step reference chain across every state."""
+        # (rate_mbps, rtt_ms, step_usec, inflight, app_limited) per ACK:
+        # startup growth, plateau into DRAIN, drain-out, PROBE_BW
+        # cycling, a min-RTT expiry into PROBE_RTT, the exit, and an
+        # app-limited lull.
+        script = (
+            [(2, 50, 50_000, 90, False)]
+            + [(6, 50, 50_000, 90, False)]
+            + [(18, 50, 50_000, 90, False)]
+            + [(18, 50, 50_000, 1000, False)] * 6
+            + [(18, 50, 50_000, 0, False)]
+            + [(20, 40, 60_000, 70, False)] * 20
+            + [(18, 80, units.seconds(4), 40, False)] * 3
+            + [(18, 50, units.msec(50), 2, False)]
+            + [(18, 50, units.msec(300), 2, False)]
+            + [(5, 45, 60_000, 70, True)] * 5
+            + [(25, 42, 60_000, 80, False)] * 10
+        )
+        flat, ref = BBRv1(seed=7), BBRv1(seed=7)
+        conn_flat, conn_ref = FakeConn(), FakeConn()
+        flat.on_connection_init(conn_flat)
+        ref.on_connection_init(conn_ref)
+        for step_index, (rate, rtt_ms, step, inflight, app) in enumerate(script):
+            for cca, conn, drive in (
+                (flat, conn_flat, BBRv1.on_ack),
+                (ref, conn_ref, _reference_on_ack),
+            ):
+                conn.engine.now += step
+                conn.inflight_packets = inflight
+                pkt = FakePacket(delivered=conn.delivered)
+                conn.delivered += 100_000
+                drive(cca, conn, pkt, units.msec(rtt_ms),
+                      sample(rate, app, rtt_ms))
+            assert _model_snapshot(flat) == _model_snapshot(ref), step_index
+
+
 class TestRecoveryConservation:
     def test_515_caps_cwnd_in_recovery(self):
         cca = BBRv1(BBR_LINUX_5_15, seed=1)

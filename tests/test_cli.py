@@ -63,6 +63,103 @@ class TestPair:
         assert set(payload["mmf_share"]) == {"iperf_cubic", "iperf_reno"}
 
 
+class TestBenchCompare:
+    """The bench regression gate: ``compare()`` and the --compare flag."""
+
+    def _payload(self, rate_p50, rate_best=None):
+        return {
+            "scenarios": {
+                "pair-x": {
+                    "pkts_per_sec": rate_best or rate_p50,
+                    "pkts_per_sec_p50": rate_p50,
+                }
+            }
+        }
+
+    def test_compare_flags_regressions(self):
+        from repro.bench import compare
+
+        lines, regressions = compare(
+            self._payload(100.0), self._payload(80.0), threshold=0.15
+        )
+        assert len(lines) == 1 and "REGRESSION" in lines[0]
+        assert len(regressions) == 1 and "pair-x" in regressions[0]
+
+    def test_compare_within_threshold_passes(self):
+        from repro.bench import compare
+
+        lines, regressions = compare(
+            self._payload(100.0), self._payload(90.0), threshold=0.15
+        )
+        assert regressions == []
+        assert "0.90x" in lines[0]
+
+    def test_compare_prefers_p50_rate(self):
+        from repro.bench import compare
+
+        # Best-rep rate collapsed but p50 held: not a regression (and
+        # vice versa would be one).
+        baseline = self._payload(100.0, rate_best=100.0)
+        current = self._payload(99.0, rate_best=10.0)
+        _lines, regressions = compare(baseline, current, threshold=0.15)
+        assert regressions == []
+
+    def test_compare_falls_back_for_old_baselines(self):
+        from repro.bench import compare
+
+        baseline = {"scenarios": {"pair-x": {"pkts_per_sec": 100.0}}}
+        _lines, regressions = compare(
+            baseline, self._payload(50.0), threshold=0.15
+        )
+        assert len(regressions) == 1
+
+    def test_compare_tolerates_missing_scenarios(self):
+        from repro.bench import compare
+
+        lines, regressions = compare({"scenarios": {}}, self._payload(50.0))
+        assert lines == ["pair-x: no baseline"]
+        assert regressions == []
+
+    def test_cli_compare_gate(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        base = tmp_path / "baseline.json"
+        code = main([
+            "bench", "--duration", "0.3", "--repeats", "1",
+            "--output", str(out), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        base.write_text(out.read_text())
+        capsys.readouterr()
+        # Re-run against the just-written baseline: with a generous
+        # threshold (this is a fresh timing run, so there IS noise) the
+        # gate must pass.
+        code = main([
+            "bench", "--duration", "0.3", "--repeats", "1",
+            "--output", str(out), "--json", "--compare", str(base),
+            "--fail-threshold", "0.9",
+        ])
+        assert code == 0
+        # A baseline 10x faster than reality must fail the gate...
+        for row in payload["scenarios"].values():
+            row["pkts_per_sec_p50"] *= 10
+        base.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = main([
+            "bench", "--duration", "0.3", "--repeats", "1",
+            "--output", str(out), "--json", "--compare", str(base),
+        ])
+        assert code == 1
+        assert "regressed" in capsys.readouterr().err
+        # ...and an unreadable baseline is an error, not a skip.
+        code = main([
+            "bench", "--duration", "0.3", "--repeats", "1",
+            "--output", str(out), "--json",
+            "--compare", str(tmp_path / "missing.json"),
+        ])
+        assert code == 2
+
+
 class TestClassify:
     def test_classify_reno(self, capsys):
         code = main(["classify", "reno", "--duration", "20"])
