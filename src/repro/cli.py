@@ -217,19 +217,48 @@ def cmd_pair(args) -> int:
     return 0
 
 
-def cmd_cycle(args) -> int:
-    """Run an all-pairs watchdog cycle and print the heatmap."""
-    watchdog = Prudentia(
-        networks=[_network(args)],
-        experiment_config=_config(args),
-        policy_overrides={
+def _cycle_policy_overrides(args) -> "dict | None":
+    """Trial policy for ``repro cycle``.
+
+    Default: a fixed trial count (``--trials`` per pair, no early stop).
+    With ``--adaptive``: the paper's stopping rule (min 10, batches of
+    10 to 30, CI-gated), optionally tuned via ``--min-trials`` /
+    ``--max-trials`` / ``--batch-size`` / ``--ci-mbps``; ``None`` lets
+    :class:`Prudentia` pick :func:`trial_policy_for` per network.
+    """
+    if not getattr(args, "adaptive", False):
+        return {
             units.mbps(args.bandwidth): TrialPolicyConfig(
                 min_trials=args.trials,
                 max_trials=args.trials,
                 batch_size=args.trials,
                 ci_halfwidth_bps=units.mbps(1e9),  # fixed trial count
             )
-        },
+        }
+    knobs = (args.min_trials, args.max_trials, args.batch_size, args.ci_mbps)
+    if all(value is None for value in knobs):
+        return None  # paper policy for this bandwidth
+    base = TrialPolicyConfig()
+    return {
+        units.mbps(args.bandwidth): TrialPolicyConfig(
+            min_trials=args.min_trials or base.min_trials,
+            max_trials=args.max_trials or base.max_trials,
+            batch_size=args.batch_size or base.batch_size,
+            ci_halfwidth_bps=(
+                units.mbps(args.ci_mbps)
+                if args.ci_mbps is not None
+                else base.ci_halfwidth_bps
+            ),
+        )
+    }
+
+
+def cmd_cycle(args) -> int:
+    """Run an all-pairs watchdog cycle and print the heatmap."""
+    watchdog = Prudentia(
+        networks=[_network(args)],
+        experiment_config=_config(args),
+        policy_overrides=_cycle_policy_overrides(args),
         base_seed=args.seed,
         cache=_cache(args),
     )
@@ -421,7 +450,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cycle", help="run an all-pairs watchdog cycle")
     p.add_argument("--services", nargs="*", default=None)
-    p.add_argument("--trials", type=int, default=3)
+    p.add_argument(
+        "--trials", type=int, default=3,
+        help="fixed trials per pair (ignored with --adaptive; default: 3)",
+    )
+    p.add_argument(
+        "--adaptive", action="store_true",
+        help="use the paper's CI-gated stopping rule (min 10 trials, "
+             "batches of 10 up to 30) instead of a fixed --trials count",
+    )
+    p.add_argument(
+        "--min-trials", type=int, default=None,
+        help="adaptive: trials before the first convergence check",
+    )
+    p.add_argument(
+        "--max-trials", type=int, default=None,
+        help="adaptive: cap before a pair is flagged unstable",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=None,
+        help="adaptive: trials added per round while a pair is open",
+    )
+    p.add_argument(
+        "--ci-mbps", type=float, default=None,
+        help="adaptive: 95%% CI half-width (Mbps) that counts as "
+             "converged",
+    )
     _add_common(p)
     _add_runner_args(p)
     p.set_defaults(func=cmd_cycle)

@@ -10,8 +10,9 @@ and :func:`moderately_constrained` (50 Mbps).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+import math
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Dict, Optional
 
 from . import units
 
@@ -139,6 +140,34 @@ class TrialPolicyConfig:
             raise ValueError("need 1 <= min_trials <= max_trials")
         if self.batch_size < 1:
             raise ValueError("batch_size must be positive")
+
+    def to_json(self) -> Dict:
+        """Strict-JSON payload for plans/cycle-state files.
+
+        A fixed-trial policy disables the CI test with an infinite
+        half-width; JSON has no Infinity, so ``inf`` serialises as
+        ``null`` (mirroring :meth:`PolicyDecision.to_json`).
+        """
+        ci: Optional[float] = self.ci_halfwidth_bps
+        if ci is not None and math.isinf(ci):
+            ci = None
+        return {
+            "min_trials": self.min_trials,
+            "max_trials": self.max_trials,
+            "batch_size": self.batch_size,
+            "ci_halfwidth_bps": ci,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "TrialPolicyConfig":
+        """Rebuild a policy config, ignoring unknown keys (fwd compat);
+        a ``null`` CI half-width maps back to ``inf``."""
+        known = {f.name for f in dataclass_fields(cls)}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        if kwargs.get("ci_halfwidth_bps", 0.0) is None:
+            kwargs["ci_halfwidth_bps"] = float("inf")
+        return cls(**kwargs)
 
 
 #: CI half-widths from the paper: +/-0.5 Mbps at 8 Mbps, +/-1.5 Mbps at

@@ -15,6 +15,7 @@ from .stats import (
     median,
     iqr,
     bootstrap_median_ci,
+    derive_bootstrap_seed,
     TrialSummary,
     summarize_trials,
 )
@@ -36,6 +37,7 @@ from .sweep import (
 from .cache import TrialCache, trial_cache_key
 from .runner import (
     AsyncioBackend,
+    CacheMissError,
     ExecutionBackend,
     InlineBackend,
     ProcessPoolBackend,
@@ -47,7 +49,14 @@ from .runner import (
 )
 from .experiment import derive_service_seed, run_service_specs
 from .parallel import ParallelRunner
-from .policy import TrialPolicy
+from .policy import (
+    PolicyDecision,
+    TrialPolicy,
+    VERDICT_CONVERGED,
+    VERDICT_OPEN,
+    VERDICT_UNSTABLE,
+)
+from .convergence import ConvergenceTracker
 from .scheduler import RoundRobinScheduler, PairState, fixed_trial_scheduler
 from .artifacts import ArtifactPublisher, PublishedExperiment
 from .calibration import SoloCalibration, calibrate_catalog
@@ -65,6 +74,7 @@ __all__ = [
     "median",
     "iqr",
     "bootstrap_median_ci",
+    "derive_bootstrap_seed",
     "TrialSummary",
     "summarize_trials",
     "Testbed",
@@ -84,6 +94,7 @@ __all__ = [
     "TrialCache",
     "trial_cache_key",
     "AsyncioBackend",
+    "CacheMissError",
     "ExecutionBackend",
     "InlineBackend",
     "ProcessPoolBackend",
@@ -93,6 +104,11 @@ __all__ = [
     "run_service_specs",
     "derive_service_seed",
     "TrialPolicy",
+    "PolicyDecision",
+    "VERDICT_OPEN",
+    "VERDICT_CONVERGED",
+    "VERDICT_UNSTABLE",
+    "ConvergenceTracker",
     "RoundRobinScheduler",
     "PairState",
     "fixed_trial_scheduler",

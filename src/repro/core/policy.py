@@ -5,15 +5,27 @@ until the 95% CI of the median throughput is within the setting's
 threshold (+/-0.5 Mbps at 8 Mbps, +/-1.5 Mbps at 50 Mbps).  Pairs that
 never converge (Observation 15's unstable services) are flagged rather
 than measured forever.
+
+Decisions serialise (``to_json``/``from_json``) so round-scoped fleet
+plans and cycle state files can carry them: the ``inf`` half-width of an
+under-minimum evaluation maps to JSON ``null`` and back, keeping every
+payload strict-JSON safe.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Optional, Sequence
 
 from ..config import TrialPolicyConfig
 from .stats import summarize_trials
+
+#: The three convergence verdicts a pair can be in across rounds.
+VERDICT_OPEN = "open"
+VERDICT_CONVERGED = "converged"
+VERDICT_UNSTABLE = "unstable"
+VERDICTS = (VERDICT_OPEN, VERDICT_CONVERGED, VERDICT_UNSTABLE)
 
 
 @dataclass
@@ -30,6 +42,43 @@ class PolicyDecision:
         """Hit the trial cap without converging (Fig 10 services)."""
         return self.exhausted and not self.converged
 
+    @property
+    def verdict(self) -> str:
+        """The round verdict this decision implies."""
+        if self.converged:
+            return VERDICT_CONVERGED
+        if self.exhausted:
+            return VERDICT_UNSTABLE
+        return VERDICT_OPEN
+
+    def to_json(self) -> Dict:
+        """Strict-JSON payload: the ``inf`` half-width of an
+        under-minimum evaluation serialises as ``null`` (JSON has no
+        Infinity), so decisions round-trip through plan/receipt/state
+        files on any JSON implementation."""
+        worst: Optional[float] = self.worst_ci_halfwidth_bps
+        if worst is not None and math.isinf(worst):
+            worst = None
+        return {
+            "converged": self.converged,
+            "needs_more": self.needs_more,
+            "exhausted": self.exhausted,
+            "worst_ci_halfwidth_bps": worst,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "PolicyDecision":
+        """Rebuild a decision; ``null`` half-width maps back to ``inf``."""
+        worst = payload.get("worst_ci_halfwidth_bps")
+        return cls(
+            converged=bool(payload["converged"]),
+            needs_more=bool(payload["needs_more"]),
+            exhausted=bool(payload["exhausted"]),
+            worst_ci_halfwidth_bps=(
+                float("inf") if worst is None else float(worst)
+            ),
+        )
+
 
 class TrialPolicy:
     """Applies the Section 3.4 stopping rule to per-service trial series."""
@@ -38,13 +87,23 @@ class TrialPolicy:
         self.config = config
 
     def evaluate(
-        self, per_service_throughputs_bps: Sequence[Sequence[float]]
+        self,
+        per_service_throughputs_bps: Sequence[Sequence[float]],
+        keys: Optional[Sequence[str]] = None,
     ) -> PolicyDecision:
         """Evaluate trials-so-far; each inner sequence is one service's
-        per-trial throughput in bits per second."""
+        per-trial throughput in bits per second.
+
+        ``keys`` optionally names each series (pair + service id); it
+        feeds the derived bootstrap seed so the verdict is a pure
+        function of the data and its identity - reproducible across
+        hosts, re-plans, and evaluation order.
+        """
         counts = {len(series) for series in per_service_throughputs_bps}
         if len(counts) != 1:
             raise ValueError("all services must have the same trial count")
+        if keys is not None and len(keys) != len(per_service_throughputs_bps):
+            raise ValueError("need one key per series")
         n = counts.pop()
         if n < self.config.min_trials:
             return PolicyDecision(
@@ -54,8 +113,9 @@ class TrialPolicy:
                 worst_ci_halfwidth_bps=float("inf"),
             )
         worst = 0.0
-        for series in per_service_throughputs_bps:
-            summary = summarize_trials(series, self.config.confidence)
+        for index, series in enumerate(per_service_throughputs_bps):
+            key = keys[index] if keys is not None else ""
+            summary = summarize_trials(series, self.config.confidence, key=key)
             worst = max(worst, summary.ci_halfwidth)
         converged = worst <= self.config.ci_halfwidth_bps
         exhausted = n >= self.config.max_trials

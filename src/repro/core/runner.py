@@ -162,6 +162,23 @@ def run_trial(
         )
 
 
+class CacheMissError(RuntimeError):
+    """A cache-only backend was asked to simulate.
+
+    Raised by :meth:`ExecutionBackend.drain` when ``cache_only`` is set
+    and one or more submitted trials are not in the cache.  Replay paths
+    (fleet assembly, adaptive round folding) use this to guarantee they
+    never silently re-simulate: replay must be pure cache reads.
+    """
+
+    def __init__(self, misses: Sequence["TrialSpec"]) -> None:
+        self.misses = list(misses)
+        super().__init__(
+            f"cache-only backend missing {len(self.misses)} trial(s); "
+            "replay requires every trial to already be cached"
+        )
+
+
 @dataclass
 class RunnerStats:
     """Execution counters surfaced by every backend.
@@ -214,10 +231,21 @@ class ExecutionBackend:
     queue and returns results in submission order) or one-shot (``run``).
     The base class owns cache consultation and statistics; subclasses
     implement :meth:`_execute` for the trials that missed the cache.
+
+    ``cache_only=True`` turns the backend into a pure replay device:
+    every submitted trial must hit the cache, and any miss raises
+    :class:`CacheMissError` instead of simulating.
     """
 
-    def __init__(self, cache: Optional[TrialCache] = None) -> None:
+    def __init__(
+        self,
+        cache: Optional[TrialCache] = None,
+        cache_only: bool = False,
+    ) -> None:
+        if cache_only and cache is None:
+            raise ValueError("cache_only requires a cache")
         self.cache = cache
+        self.cache_only = cache_only
         self.stats = RunnerStats()
         self._pending: List[TrialSpec] = []
 
@@ -265,6 +293,8 @@ class ExecutionBackend:
         )
         if self.cache is not None:
             registry.counter("runner.cache_misses").inc(len(misses))
+        if misses and self.cache_only:
+            raise CacheMissError([spec for _i, spec in misses])
         if misses:
             start = time.perf_counter()
             with tracing.span(
@@ -324,8 +354,9 @@ class InlineBackend(ExecutionBackend):
         catalog: Optional[ServiceCatalog] = None,
         env: Optional[ClientEnvironment] = None,
         cache: Optional[TrialCache] = None,
+        cache_only: bool = False,
     ) -> None:
-        super().__init__(cache=cache)
+        super().__init__(cache=cache, cache_only=cache_only)
         self.catalog = catalog
         self.env = env
 

@@ -5,15 +5,20 @@ issues ... we run the trials in a round-robin manner" - trial k of every
 pair runs before trial k+1 of any pair.  Pairs whose confidence interval
 has not converged after a batch are automatically re-queued for another
 batch, up to the policy's trial cap.
+
+The convergence bookkeeping itself lives in
+:class:`~repro.core.convergence.ConvergenceTracker` - the shared
+authority the fleet round planner also consults - and the scheduler is a
+thin ordering layer on top of it: it decides *in what order* the
+tracker's queued trials execute, while the tracker decides *whether a
+pair gets more trials at all*.
 """
 
 from __future__ import annotations
 
-import itertools
-import zlib
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
+from .convergence import ConvergenceTracker, PairState
 from .policy import PolicyDecision, TrialPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -22,24 +27,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 PairKey = Tuple[str, str]
 
-
-@dataclass
-class PairState:
-    """Scheduling state for one (contender, incumbent) pair."""
-
-    pair: PairKey
-    trials_done: int = 0
-    trials_queued: int = 0
-    done: bool = False
-    decision: Optional[PolicyDecision] = None
-    throughputs_bps: Dict[str, List[float]] = field(default_factory=dict)
-
-    def record_trial(self, throughputs_bps: Dict[str, float]) -> None:
-        """Append one trial's per-service throughputs to the state."""
-        self.trials_done += 1
-        self.trials_queued -= 1
-        for service_id, value in throughputs_bps.items():
-            self.throughputs_bps.setdefault(service_id, []).append(value)
+__all__ = [
+    "PairKey",
+    "PairState",
+    "RoundRobinScheduler",
+    "fixed_trial_scheduler",
+]
 
 
 class RoundRobinScheduler:
@@ -52,28 +45,32 @@ class RoundRobinScheduler:
         include_self_pairs: bool = True,
         base_seed: int = 0,
     ) -> None:
-        if not service_ids:
-            raise ValueError("need at least one service")
-        pairs: List[PairKey] = list(
-            itertools.combinations(sorted(service_ids), 2)
+        self.tracker = ConvergenceTracker.for_services(
+            service_ids,
+            policy,
+            include_self_pairs=include_self_pairs,
+            base_seed=base_seed,
         )
-        if include_self_pairs:
-            pairs.extend((sid, sid) for sid in sorted(service_ids))
-        self.policy = policy
-        self.base_seed = base_seed
-        self.states: Dict[PairKey, PairState] = {
-            pair: PairState(pair=pair) for pair in pairs
-        }
-        for state in self.states.values():
-            state.trials_queued = policy.next_batch_size(0)
+
+    @property
+    def policy(self) -> TrialPolicy:
+        return self.tracker.policy
+
+    @property
+    def base_seed(self) -> int:
+        return self.tracker.base_seed
+
+    @property
+    def states(self) -> Dict[PairKey, PairState]:
+        return self.tracker.states
 
     @property
     def pairs(self) -> List[PairKey]:
-        return list(self.states)
+        return self.tracker.pairs()
 
     def pending(self) -> bool:
         """True while any pair still has queued trials."""
-        return any(s.trials_queued > 0 for s in self.states.values())
+        return self.tracker.pending()
 
     def work_items(self) -> Iterator[Tuple[PairKey, int]]:
         """Round-robin over pairs: one trial per pair per sweep.
@@ -126,34 +123,17 @@ class RoundRobinScheduler:
         return batch
 
     def _seed_for(self, pair: PairKey, trial_index: int) -> int:
-        digest = zlib.crc32("|".join(pair).encode("utf-8")) & 0xFFFF
-        return self.base_seed * 7_919 + digest * 101 + trial_index
+        return self.tracker.seed_for(pair, trial_index)
 
     def record_result(
         self, pair: PairKey, throughputs_bps: Dict[str, float]
-    ) -> None:
+    ) -> Optional[PolicyDecision]:
         """Feed one trial's outcome back; may re-queue or finish the pair."""
-        state = self.states[pair]
-        state.record_trial(throughputs_bps)
-        if state.trials_queued > 0:
-            return  # batch still draining
-        series = list(state.throughputs_bps.values())
-        decision = self.policy.evaluate(series)
-        state.decision = decision
-        if decision.needs_more:
-            state.trials_queued = self.policy.next_batch_size(state.trials_done)
-            if state.trials_queued == 0:
-                state.done = True
-        else:
-            state.done = True
+        return self.tracker.record_trial(pair, throughputs_bps)
 
     def unstable_pairs(self) -> List[PairKey]:
         """Pairs that hit the trial cap without converging (Fig 10)."""
-        return [
-            pair
-            for pair, state in self.states.items()
-            if state.decision is not None and state.decision.unstable
-        ]
+        return self.tracker.unstable_pairs()
 
 
 def fixed_trial_scheduler(
@@ -167,10 +147,11 @@ def fixed_trial_scheduler(
     Disabling the adaptive CI re-queueing (min == max == batch, an
     unreachable CI threshold) makes the whole cycle enumerable up front:
     one :meth:`RoundRobinScheduler.next_batch` call *is* the cycle.  This
-    is the deterministic shape fleet planning requires - the trial list,
-    and therefore every cache key, is known before anything executes -
-    and it matches the fixed-trial policy the ``cycle`` CLI command uses,
-    so sharded plans reproduce single-host CLI cycles seed for seed.
+    is the deterministic shape fixed-count fleet planning requires - the
+    trial list, and therefore every cache key, is known before anything
+    executes - and it matches the fixed-trial policy the ``cycle`` CLI
+    command uses, so sharded plans reproduce single-host CLI cycles seed
+    for seed.
     """
     from ..config import TrialPolicyConfig
 

@@ -8,9 +8,11 @@ setting).  The CI of the median is computed with a percentile bootstrap.
 
 from __future__ import annotations
 
+import json
 import random
+import zlib
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 def median(samples: Sequence[float]) -> float:
@@ -45,13 +47,38 @@ def iqr(samples: Sequence[float]) -> Tuple[float, float]:
     return quantile(samples, 0.25), quantile(samples, 0.75)
 
 
+def derive_bootstrap_seed(samples: Sequence[float], key: str = "") -> int:
+    """Deterministic bootstrap RNG seed from the data itself.
+
+    The convergence verdict for a trial series must be a pure function of
+    the series (plus an optional context ``key`` such as the pair and
+    service it belongs to) - never of wall-clock, call order, process
+    boundaries, or which host evaluated it.  Hashing a canonical JSON
+    encoding of the values gives every distinct sample set its own,
+    reproducible resampling noise, so re-planning an adaptive cycle on a
+    different host reaches byte-identical stopping decisions.
+    """
+    canonical = json.dumps(
+        {"key": key, "samples": [float(v) for v in samples]},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
 def bootstrap_median_ci(
     samples: Sequence[float],
     confidence: float = 0.95,
     n_resamples: int = 2000,
-    seed: int = 0,
+    seed: Optional[int] = 0,
+    key: str = "",
 ) -> Tuple[float, float]:
-    """Percentile-bootstrap confidence interval of the median."""
+    """Percentile-bootstrap confidence interval of the median.
+
+    ``seed=None`` derives the resampling seed from the sample values (and
+    ``key``) via :func:`derive_bootstrap_seed`; an explicit integer seed
+    keeps the historic fixed-seed behaviour.
+    """
     if not samples:
         raise ValueError("bootstrap of empty sample set")
     if not 0.0 < confidence < 1.0:
@@ -59,6 +86,8 @@ def bootstrap_median_ci(
     data = list(samples)
     if len(data) == 1:
         return data[0], data[0]
+    if seed is None:
+        seed = derive_bootstrap_seed(data, key)
     rng = random.Random(seed)
     n = len(data)
     medians: List[float] = []
@@ -92,12 +121,21 @@ class TrialSummary:
 def summarize_trials(
     samples: Sequence[float],
     confidence: float = 0.95,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    key: str = "",
 ) -> TrialSummary:
-    """Median, IQR and bootstrap CI in one record."""
+    """Median, IQR and bootstrap CI in one record.
+
+    The bootstrap seed defaults to the data-derived value (see
+    :func:`derive_bootstrap_seed`), making the summary - and therefore
+    every convergence verdict built on it - reproducible across hosts,
+    re-plans, and evaluation order.
+    """
     mid = median(samples)
     q25, q75 = iqr(samples)
-    ci_low, ci_high = bootstrap_median_ci(samples, confidence, seed=seed)
+    ci_low, ci_high = bootstrap_median_ci(
+        samples, confidence, seed=seed, key=key
+    )
     return TrialSummary(
         n=len(samples), median=mid, q25=q25, q75=q75, ci_low=ci_low, ci_high=ci_high
     )

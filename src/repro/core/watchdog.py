@@ -24,6 +24,7 @@ from ..config import (
 )
 from ..obs import tracing
 from ..obs.heartbeat import HeartbeatWriter
+from ..obs.metrics import get_registry
 from ..services.catalog import ServiceCatalog, default_catalog
 from .cache import TrialCache
 from .calibration import SoloCalibration, calibrate_catalog, format_table1
@@ -172,6 +173,7 @@ class Prudentia:
         """
         runner = backend or self._backend(parallel_workers)
         ids = service_ids or self.catalog.heatmap_ids()
+        registry = get_registry()
         with tracing.span(
             "cycle.run",
             cycle=self.cycles_completed,
@@ -185,19 +187,39 @@ class Prudentia:
                     include_self_pairs=include_self_pairs,
                     base_seed=self.base_seed + self.cycles_completed,
                 )
+                tracker = scheduler.tracker
+                round_index = 0
                 while scheduler.pending():
-                    batch = scheduler.next_batch(
-                        network, self.experiment_config
-                    )
-                    for spec, result in zip(batch, runner.run(batch)):
-                        if result.valid:
-                            self.store.add(result)
-                        scheduler.record_result(
-                            spec.pair_key, result.throughput_bps
+                    # Each pass over the queued batches is one adaptive
+                    # round: the same plan -> run -> evaluate -> re-plan
+                    # loop the fleet driver executes across hosts.
+                    with tracing.span(
+                        "cycle.round",
+                        cycle=self.cycles_completed,
+                        round=round_index,
+                        bandwidth_bps=network.bandwidth_bps,
+                        pairs_open=len(tracker.open_pairs()),
+                    ) as round_span:
+                        batch = scheduler.next_batch(
+                            network, self.experiment_config
                         )
+                        for spec, result in zip(batch, runner.run(batch)):
+                            if result.valid:
+                                self.store.add(result)
+                            scheduler.record_result(
+                                spec.pair_key, result.throughput_bps
+                            )
+                        round_span.set(trials=len(batch))
+                    registry.gauge("planner.pairs_open").set(
+                        len(tracker.open_pairs())
+                    )
                     cycle_trials += len(batch)
+                    round_index += 1
                     if self.heartbeat is not None:
                         self.heartbeat.batch_done(len(batch))
+                registry.counter("planner.trials_saved").inc(
+                    tracker.trials_saved()
+                )
             cycle_span.set(trials=cycle_trials)
         self.cycles_completed += 1
         self.last_cycle_stats = runner.stats

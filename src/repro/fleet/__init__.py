@@ -25,11 +25,24 @@ against the plan (done / running / stalled / missing shards) without
 disturbing the workers.
 """
 
+from .adaptive import (
+    ADAPTIVE_STATE_SCHEMA_VERSION,
+    ASSEMBLY_PLAN_FILENAME,
+    STATE_FILENAME,
+    AdaptiveCycleState,
+    run_adaptive_cycle,
+)
 from .assemble import assemble_reports, assemble_store, assemble_sweep
 from .merge import MergeReport, merge_shards
-from .status import FleetStatus, ShardStatus, fleet_status
+from .status import (
+    FleetStatus,
+    ShardStatus,
+    fleet_status,
+    retry_manifests,
+)
 from .plan import (
     MANIFEST_SCHEMA_VERSION,
+    SUPPORTED_MANIFEST_SCHEMAS,
     FleetError,
     FleetPlan,
     PlannedTrial,
@@ -42,8 +55,13 @@ from .plan import (
 from .worker import RECEIPT_FILENAME, ShardReceipt, run_shard
 
 __all__ = [
+    "ADAPTIVE_STATE_SCHEMA_VERSION",
+    "ASSEMBLY_PLAN_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
     "RECEIPT_FILENAME",
+    "STATE_FILENAME",
+    "SUPPORTED_MANIFEST_SCHEMAS",
+    "AdaptiveCycleState",
     "FleetError",
     "FleetPlan",
     "FleetStatus",
@@ -60,6 +78,8 @@ __all__ = [
     "merge_shards",
     "plan_cycle",
     "plan_sweep",
+    "retry_manifests",
+    "run_adaptive_cycle",
     "run_shard",
     "shard_for_key",
 ]

@@ -1,6 +1,6 @@
 """``python -m repro fleet ...`` - the multi-host operational surface.
 
-Four subcommands mirror the four fleet stages:
+The subcommands mirror the fleet stages:
 
 - ``fleet plan cycle|sweep`` - enumerate the trial matrix, partition it
   by cache-key hash, write ``plan.json`` + ``shard-<i>.json`` manifests
@@ -9,9 +9,16 @@ Four subcommands mirror the four fleet stages:
 - ``fleet merge``            - union shard caches, verifying receipts,
   schema versions, duplicates, and coverage against the plan
 - ``fleet status``           - diff receipt coverage against the plan
-  mid-run: done / running / stalled / missing shards, trial counts
+  mid-run: done / running / stalled / missing shards, trial counts;
+  pointed at an adaptive cycle directory it shows per-round
+  convergence progress instead
+- ``fleet retry``            - emit attempt-bumped manifests for shards
+  ``fleet status`` reports missing or stalled
 - ``fleet report``           - rebuild the fairness report / sweep curve
   from the merged cache with zero re-simulation
+- ``fleet cycle``            - the adaptive multi-round driver: plan ->
+  run -> merge -> re-plan until every pair converges or caps out
+  (Section 3.4), with receipt recovery via retries
 
 A two-shard local walkthrough lives in the README's multi-host section;
 CI runs it end-to-end and asserts the assembled report equals the
@@ -26,16 +33,22 @@ import sys
 from pathlib import Path
 
 from .. import units
-from ..config import ExperimentConfig, NetworkConfig
+from ..config import ExperimentConfig, NetworkConfig, TrialPolicyConfig
 from ..core.cache import TrialCache
 from ..core.runner import BACKEND_KINDS
 from ..core.sweep import render_sweep
 from ..services.catalog import default_catalog
 from ..obs.log import get_logger
+from .adaptive import (
+    ASSEMBLY_PLAN_FILENAME,
+    STATE_FILENAME,
+    AdaptiveCycleState,
+    run_adaptive_cycle,
+)
 from .assemble import assemble_reports, assemble_sweep
 from .merge import merge_shards
 from .plan import FleetError, load_plan, plan_cycle, plan_sweep
-from .status import DEFAULT_STALL_SEC, fleet_status
+from .status import DEFAULT_STALL_SEC, fleet_status, retry_manifests
 from .worker import run_shard
 
 _log = get_logger("fleet")
@@ -141,8 +154,23 @@ def cmd_fleet_status(args) -> int:
     """Diff on-disk shard coverage against the plan, mid-run safe.
 
     Exit code 0 when every shard is done, 1 while work remains (so the
-    command doubles as a completion probe in wait loops).
+    command doubles as a completion probe in wait loops).  Pointed at an
+    adaptive cycle directory (one holding ``cycle-state.json``) instead
+    of a ``plan.json``, it reports per-round convergence progress.
     """
+    target = Path(args.plan)
+    if target.is_dir() and (target / STATE_FILENAME).exists():
+        state = AdaptiveCycleState.load(target)
+        if args.json:
+            payload = state.to_json()
+            del payload["trackers"]  # progress view, not the full state
+            payload["done"] = state.done
+            payload["trials_done"] = state.trials_done_total()
+            payload["trials_saved"] = state.trials_saved()
+            print(json.dumps(payload, indent=1))
+        else:
+            print(state.render_progress())
+        return 0 if state.done else 1
     plan = load_plan(args.plan)
     status = fleet_status(plan, args.dirs, stall_sec=args.stall_sec)
     if args.json:
@@ -150,6 +178,96 @@ def cmd_fleet_status(args) -> int:
     else:
         print(status.render())
     return 0 if status.complete else 1
+
+
+def cmd_fleet_retry(args) -> int:
+    """Write attempt-bumped manifests for missing/stalled shards."""
+    plan = load_plan(args.plan)
+    status = fleet_status(plan, args.dirs, stall_sec=args.stall_sec)
+    manifests = retry_manifests(plan, status, attempt=args.attempt)
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for manifest in manifests:
+        path = (
+            out
+            / f"shard-{manifest['shard_index']}"
+              f"-attempt{manifest['attempt']}.json"
+        )
+        path.write_text(json.dumps(manifest, indent=1))
+        print(
+            f"shard {manifest['shard_index']} attempt "
+            f"{manifest['attempt']}: {path}"
+        )
+    if not manifests:
+        print("all shards done; nothing to retry")
+    return 0
+
+
+def _fleet_policy(args) -> "TrialPolicyConfig | None":
+    """An explicit trial policy from CLI knobs, or None for the paper's."""
+    if not any(
+        getattr(args, name) is not None
+        for name in ("min_trials", "max_trials", "batch_size", "ci_mbps")
+    ):
+        return None
+    base = TrialPolicyConfig()
+    return TrialPolicyConfig(
+        min_trials=args.min_trials or base.min_trials,
+        max_trials=args.max_trials or base.max_trials,
+        batch_size=args.batch_size or base.batch_size,
+        ci_halfwidth_bps=(
+            units.mbps(args.ci_mbps)
+            if args.ci_mbps is not None
+            else base.ci_halfwidth_bps
+        ),
+    )
+
+
+def cmd_fleet_cycle(args) -> int:
+    """Run an adaptive multi-round cycle to convergence."""
+    ids = args.services or default_catalog().heatmap_ids()
+    policy = _fleet_policy(args)
+    state = run_adaptive_cycle(
+        args.out_dir,
+        ids,
+        [_network(args)],
+        _config(args),
+        policies=[policy] if policy is not None else None,
+        num_shards=args.shards,
+        base_seed=args.seed,
+        backend_kind=args.backend,
+        workers=args.workers,
+        max_retries=args.max_retries,
+    )
+    summary = {
+        "cycle_id": state.cycle_id,
+        "rounds": state.round_index,
+        "trials_done": state.trials_done_total(),
+        "trials_cap": state.trials_cap_total(),
+        "trials_saved": state.trials_saved(),
+        "verdicts": [t.counts() for t in state.trackers],
+        "unstable_pairs": [
+            ["|".join(pair) for pair in t.unstable_pairs()]
+            for t in state.trackers
+        ],
+        "out_dir": str(args.out_dir),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=1))
+        return 0
+    print(state.render_progress())
+    print(
+        f"converged in {state.round_index} round(s): "
+        f"{state.trials_done_total()} trials run, "
+        f"{state.trials_saved()} saved vs the fixed "
+        f"{state.trials_cap_total()}-trial plan"
+    )
+    print(
+        f"assemble the report with: repro fleet report --plan "
+        f"{Path(args.out_dir) / ASSEMBLY_PLAN_FILENAME} "
+        f"--cache-dir {Path(args.out_dir) / 'cache'}"
+    )
+    return 0
 
 
 def cmd_fleet_report(args) -> int:
@@ -279,17 +397,74 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.set_defaults(func=_wrap(cmd_fleet_merge))
 
     p = fleet_sub.add_parser(
-        "status", help="diff shard receipt coverage against the plan"
+        "status", help="diff shard receipt coverage against the plan, "
+                       "or show an adaptive cycle's round progress"
     )
-    p.add_argument("plan", help="plan.json path")
-    p.add_argument("dirs", nargs="+",
-                   help="shard cache directories (or parents of them)")
+    p.add_argument("plan", help="plan.json path, or an adaptive cycle "
+                                "directory holding cycle-state.json")
+    p.add_argument("dirs", nargs="*",
+                   help="shard cache directories (or parents of them); "
+                        "unused for adaptive cycle directories")
     p.add_argument("--stall-sec", type=float, default=DEFAULT_STALL_SEC,
                    help="flag receipt-less shards with no write newer "
                         "than this as stalled (default: 600)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
     p.set_defaults(func=_wrap(cmd_fleet_status))
+
+    p = fleet_sub.add_parser(
+        "retry", help="write attempt-bumped manifests for shards "
+                      "status reports missing or stalled"
+    )
+    p.add_argument("plan", help="plan.json path")
+    p.add_argument("dirs", nargs="+",
+                   help="shard cache directories (or parents of them)")
+    p.add_argument("--out-dir", required=True,
+                   help="directory for the retry manifests")
+    p.add_argument("--attempt", type=int, default=None,
+                   help="explicit attempt number (default: best seen + 1)")
+    p.add_argument("--stall-sec", type=float, default=DEFAULT_STALL_SEC,
+                   help="flag receipt-less shards with no write newer "
+                        "than this as stalled (default: 600)")
+    p.set_defaults(func=_wrap(cmd_fleet_retry))
+
+    p = fleet_sub.add_parser(
+        "cycle", help="adaptive multi-round cycle: plan/run/merge/re-plan "
+                      "until the Section 3.4 stopping rule retires "
+                      "every pair"
+    )
+    p.add_argument("--services", nargs="*", default=None)
+    p.add_argument("--shards", type=int, default=2,
+                   help="shards per round (default: 2)")
+    p.add_argument("--out-dir", required=True,
+                   help="cycle directory (state, round plans, cache)")
+    p.add_argument("--min-trials", type=int, default=None,
+                   help="trial policy floor (default: paper's 10)")
+    p.add_argument("--max-trials", type=int, default=None,
+                   help="trial policy cap (default: paper's 30)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="trials added per round past the floor "
+                        "(default: paper's 10)")
+    p.add_argument("--ci-mbps", type=float, default=None,
+                   help="CI half-width threshold in Mbps (default: the "
+                        "paper's per-bandwidth threshold)")
+    p.add_argument("--bandwidth", type=float, default=8.0,
+                   help="bottleneck bandwidth in Mbps (default: 8)")
+    p.add_argument("--buffer-bdp", type=float, default=4.0,
+                   help="queue size as a BDP multiple (default: 4)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="experiment duration in seconds (default: 60)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--backend", choices=list(BACKEND_KINDS), default=None,
+                   help="execution substrate for shard workers")
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool size / async concurrency per shard")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="receipt-recovery re-dispatches per shard per "
+                        "round (default: 2)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable cycle summary")
+    p.set_defaults(func=_wrap(cmd_fleet_cycle))
 
     p = fleet_sub.add_parser(
         "report", help="assemble the report from a merged cache"

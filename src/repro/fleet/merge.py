@@ -19,6 +19,7 @@ the merged cache knows how much total simulation the fleet performed.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
@@ -34,11 +35,14 @@ from .worker import ShardReceipt
 class MergeReport:
     """What the merge did and what it found.
 
-    ``stats`` sums every receipt's :class:`RunnerStats`;
-    ``per_shard_stats`` keeps the per-shard breakdown (keyed by shard
-    index) and ``metrics`` unions the receipts' :mod:`repro.obs`
-    snapshots, so shard-level telemetry survives the merge instead of
-    being dropped.
+    ``stats`` sums every receipt's :class:`RunnerStats` (retries
+    included - it measures total fleet effort); ``per_shard_stats``
+    keeps the per-shard breakdown keyed by shard index, with duplicate
+    receipts for one shard resolved by the supersede rule (highest
+    attempt wins - see :func:`merge_shards`; ``superseded_receipts``
+    counts the losers).  ``metrics`` unions the receipts'
+    :mod:`repro.obs` snapshots, so shard-level telemetry survives the
+    merge instead of being dropped.
     """
 
     shards: int = 0
@@ -46,6 +50,7 @@ class MergeReport:
     duplicates: int = 0
     gaps: List[str] = field(default_factory=list)
     extras: int = 0
+    superseded_receipts: int = 0
     stats: RunnerStats = field(default_factory=RunnerStats)
     per_shard_stats: Dict[int, RunnerStats] = field(default_factory=dict)
     metrics: Dict = field(default_factory=dict)
@@ -58,6 +63,7 @@ class MergeReport:
             "duplicates": self.duplicates,
             "gaps": list(self.gaps),
             "extras": self.extras,
+            "superseded_receipts": self.superseded_receipts,
             "stats": self.stats.to_json(),
             "per_shard_stats": {
                 str(index): stats.to_json()
@@ -73,6 +79,27 @@ def _shard_entries(shard_dir: Path) -> List[Path]:
         for path in shard_dir.glob("*.json")
         if is_cache_key(path.stem)
     )
+
+
+def _supersedes(challenger: ShardReceipt, incumbent: ShardReceipt) -> bool:
+    """Does ``challenger`` win the shard over ``incumbent``?
+
+    Retry semantics: a later attempt supersedes an earlier one, then a
+    more complete receipt wins.  A full tie falls back to comparing the
+    receipts' canonical JSON, so the winner is a deterministic function
+    of the receipt *contents* - independent of the order shard
+    directories were listed in.
+    """
+    challenger_rank = (challenger.attempt, len(challenger.completed_keys))
+    incumbent_rank = (incumbent.attempt, len(incumbent.completed_keys))
+    if challenger_rank != incumbent_rank:
+        return challenger_rank > incumbent_rank
+    def canon(receipt: ShardReceipt) -> str:
+        return json.dumps(
+            receipt.to_json(), sort_keys=True, separators=(",", ":")
+        )
+
+    return canon(challenger) < canon(incumbent)
 
 
 def merge_shards(
@@ -101,6 +128,7 @@ def merge_shards(
     expected = set(plan.expected_keys())
     report = MergeReport(shards=len(shard_dirs))
     shard_metrics: List[Dict] = []
+    winners: Dict[int, ShardReceipt] = {}
     for shard_dir in shard_dirs:
         shard = Path(shard_dir)
         if not shard.is_dir():
@@ -121,7 +149,17 @@ def merge_shards(
                     "be comparable)"
                 )
             report.stats = report.stats.merged_with(receipt.stats)
-            report.per_shard_stats[receipt.shard_index] = receipt.stats
+            incumbent = winners.get(receipt.shard_index)
+            if incumbent is None:
+                winners[receipt.shard_index] = receipt
+            else:
+                # Duplicate receipts for one shard (retries): the
+                # supersede rule picks a deterministic winner for the
+                # per-shard breakdown; total stats keep both (they both
+                # really ran).
+                report.superseded_receipts += 1
+                if _supersedes(receipt, incumbent):
+                    winners[receipt.shard_index] = receipt
             if receipt.metrics is not None:
                 shard_metrics.append(receipt.metrics)
         for entry in _shard_entries(shard):
@@ -141,6 +179,9 @@ def merge_shards(
             report.entries_merged += 1
             if entry.stem not in expected:
                 report.extras += 1
+    report.per_shard_stats = {
+        index: receipt.stats for index, receipt in winners.items()
+    }
     if shard_metrics:
         report.metrics = merge_snapshots(shard_metrics)
     merged_keys = {path.stem for path in _shard_entries(dest)}

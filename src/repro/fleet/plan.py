@@ -35,7 +35,15 @@ from ..core.scheduler import fixed_trial_scheduler
 from ..core.sweep import expand_sweep_networks, pair_sweep_trials
 
 #: Bump when the plan/manifest JSON layout changes incompatibly.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 adds adaptive-round identity (``cycle`` block: parent cycle id +
+#: round index) and retry attempts on shard manifests.
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Plan/manifest schema versions this library still reads.  v1 files
+#: (pre-adaptive, no cycle block) load unchanged: their plan ids were
+#: computed under schema 1, and :attr:`FleetPlan.plan_id` recomputes
+#: with the file's own schema so the identity check still holds.
+SUPPORTED_MANIFEST_SCHEMAS = (1, 2)
 
 
 class FleetError(RuntimeError):
@@ -119,6 +127,12 @@ class FleetPlan:
     cycle; sweep kind/values/pair for a sweep).  ``trials`` is the full
     ordered trial list - plan order is single-host execution order, which
     is what makes assembled reports bit-identical to unsharded runs.
+
+    A *round-scoped* plan (one round of an adaptive cycle) additionally
+    carries ``cycle_id`` (identity of the parent adaptive cycle) and
+    ``round_index``; both fold into :attr:`plan_id`, so two rounds of the
+    same cycle - even if they happen to plan identical trial sets - have
+    distinct identities and receipts cannot cross rounds.
     """
 
     def __init__(
@@ -128,14 +142,24 @@ class FleetPlan:
         trials: Sequence[PlannedTrial],
         params: Dict,
         cache_schema: int = CACHE_SCHEMA_VERSION,
+        cycle_id: Optional[str] = None,
+        round_index: Optional[int] = None,
+        schema: int = MANIFEST_SCHEMA_VERSION,
     ) -> None:
         if kind not in ("cycle", "sweep"):
             raise ValueError(f"unknown plan kind {kind!r}")
+        if (cycle_id is None) != (round_index is None):
+            raise ValueError(
+                "round-scoped plans need both cycle_id and round_index"
+            )
         self.kind = kind
         self.num_shards = num_shards
         self.trials = list(trials)
         self.params = dict(params)
         self.cache_schema = cache_schema
+        self.cycle_id = cycle_id
+        self.round_index = round_index
+        self.schema = schema
 
     # -- identity ------------------------------------------------------
 
@@ -146,12 +170,20 @@ class FleetPlan:
         Covers the sorted cache-key set (which itself covers every trial
         input) and the schema versions - *not* the shard count, so the
         same matrix planned at different widths shares one identity.
+        Round-scoped plans also fold in the parent cycle id and round
+        index, so each round of an adaptive cycle is its own plan and
+        shard receipts cannot leak between rounds.
         """
         payload = {
-            "manifest_schema": MANIFEST_SCHEMA_VERSION,
+            "manifest_schema": self.schema,
             "cache_schema": self.cache_schema,
             "keys": sorted(t.cache_key for t in self.trials),
         }
+        if self.cycle_id is not None:
+            payload["cycle"] = {
+                "id": self.cycle_id,
+                "round": self.round_index,
+            }
         return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
     def expected_keys(self) -> List[str]:
@@ -171,8 +203,8 @@ class FleetPlan:
 
     def to_json(self) -> Dict:
         """Schema-versioned plan payload, round-trippable via from_json."""
-        return {
-            "schema": MANIFEST_SCHEMA_VERSION,
+        payload = {
+            "schema": self.schema,
             "kind": "fleet-plan",
             "plan_kind": self.kind,
             "plan_id": self.plan_id,
@@ -184,26 +216,41 @@ class FleetPlan:
                 for t in self.trials
             ],
         }
+        if self.cycle_id is not None:
+            payload["cycle"] = {
+                "id": self.cycle_id,
+                "round": self.round_index,
+            }
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict) -> "FleetPlan":
-        """Load a plan, ignoring unknown keys; reject schema skew."""
+        """Load a plan, ignoring unknown keys; reject schema skew.
+
+        Accepts every :data:`SUPPORTED_MANIFEST_SCHEMAS` version - a v1
+        plan (pre-adaptive) loads with no cycle identity and keeps its
+        v1-computed plan id valid.
+        """
         schema = payload.get("schema")
-        if schema != MANIFEST_SCHEMA_VERSION:
+        if schema not in SUPPORTED_MANIFEST_SCHEMAS:
             raise FleetError(
-                f"plan schema {schema!r} != supported "
-                f"{MANIFEST_SCHEMA_VERSION}"
+                f"plan schema {schema!r} not in supported "
+                f"{SUPPORTED_MANIFEST_SCHEMAS}"
             )
         trials = []
         for entry in payload["trials"]:
             spec, key = spec_from_json(entry)
             trials.append(PlannedTrial(spec, key, entry["shard"]))
+        cycle = payload.get("cycle") or {}
         plan = cls(
             kind=payload["plan_kind"],
             num_shards=payload["num_shards"],
             trials=trials,
             params=payload.get("params", {}),
             cache_schema=payload.get("cache_schema", CACHE_SCHEMA_VERSION),
+            cycle_id=cycle.get("id"),
+            round_index=cycle.get("round"),
+            schema=schema,
         )
         stated = payload.get("plan_id")
         if stated is not None and stated != plan.plan_id:
@@ -214,17 +261,25 @@ class FleetPlan:
             )
         return plan
 
-    def manifest_for(self, shard_index: int) -> Dict:
-        """The standalone JSON manifest one shard worker executes."""
+    def manifest_for(self, shard_index: int, attempt: int = 0) -> Dict:
+        """The standalone JSON manifest one shard worker executes.
+
+        ``attempt`` stamps retries: a re-dispatched manifest for a shard
+        whose receipt never arrived carries attempt 1, 2, ... and the
+        merge's supersede rule prefers the highest-attempt receipt.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
         owned = self.shard_trials(shard_index)
-        return {
-            "schema": MANIFEST_SCHEMA_VERSION,
+        manifest = {
+            "schema": self.schema,
             "kind": "shard-manifest",
             "plan_id": self.plan_id,
             "plan_kind": self.kind,
             "cache_schema": self.cache_schema,
             "shard_index": shard_index,
             "num_shards": self.num_shards,
+            "attempt": attempt,
             "network_fingerprints": sorted(
                 {network_fingerprint(t.spec.network) for t in owned}
             ),
@@ -233,6 +288,12 @@ class FleetPlan:
             ),
             "trials": [spec_to_json(t.spec, t.cache_key) for t in owned],
         }
+        if self.cycle_id is not None:
+            manifest["cycle"] = {
+                "id": self.cycle_id,
+                "round": self.round_index,
+            }
+        return manifest
 
     def write(self, out_dir: Union[str, Path]) -> List[Path]:
         """Write ``plan.json`` plus one ``shard-<i>.json`` per shard.
@@ -256,13 +317,17 @@ def load_plan(path: Union[str, Path]) -> FleetPlan:
 
 
 def load_manifest(path: Union[str, Path]) -> Dict:
-    """Read a shard manifest from disk, validating its schema."""
+    """Read a shard manifest from disk, validating its schema.
+
+    v1 manifests (no ``attempt``/``cycle`` fields) load unchanged;
+    consumers treat a missing attempt as 0.
+    """
     payload = json.loads(Path(path).read_text())
     schema = payload.get("schema")
-    if schema != MANIFEST_SCHEMA_VERSION:
+    if schema not in SUPPORTED_MANIFEST_SCHEMAS:
         raise FleetError(
-            f"manifest schema {schema!r} != supported "
-            f"{MANIFEST_SCHEMA_VERSION}"
+            f"manifest schema {schema!r} not in supported "
+            f"{SUPPORTED_MANIFEST_SCHEMAS}"
         )
     if payload.get("kind") != "shard-manifest":
         raise FleetError(

@@ -47,6 +47,7 @@ class ShardStatus:
     completed: int
     directory: Optional[str] = None
     age_sec: Optional[float] = None
+    attempt: Optional[int] = None
 
     def to_json(self) -> Dict:
         """Plain-JSON row for ``fleet status --json``."""
@@ -59,6 +60,7 @@ class ShardStatus:
             "age_sec": (
                 round(self.age_sec, 1) if self.age_sec is not None else None
             ),
+            "attempt": self.attempt,
         }
 
 
@@ -249,10 +251,20 @@ def fleet_status(
             completed=completed,
             directory=str(directory),
             age_sec=max(age, 0.0),
+            attempt=receipt.attempt if receipt is not None else None,
         )
-        # Two dirs claiming one shard: keep the more advanced one.
+        # Two dirs claiming one shard: keep the more advanced one -
+        # done beats not-done, then a later retry attempt beats an
+        # earlier one, then more completed trials.
+        def _rank(status_row: ShardStatus) -> tuple:
+            return (
+                status_row.state == "done",
+                status_row.attempt if status_row.attempt is not None else -1,
+                status_row.completed,
+            )
+
         current = claimed.get(index)
-        if current is None or (state == "done") > (current.state == "done"):
+        if current is None or _rank(row) > _rank(current):
             claimed[index] = row
     for index in range(plan.num_shards):
         row = claimed.get(index)
@@ -267,3 +279,29 @@ def fleet_status(
             )
         status.shards.append(row)
     return status
+
+
+def retry_manifests(
+    plan: FleetPlan,
+    status: FleetStatus,
+    attempt: Optional[int] = None,
+) -> List[Dict]:
+    """Fresh attempt-bumped manifests for every shard that is not done.
+
+    The retry half of receipt recovery: ``fleet status`` decides which
+    shards are missing or stalled; this emits a new manifest for each,
+    with ``attempt`` bumped past the best receipt seen (or to the
+    explicit ``attempt``), so the merge's supersede rule deterministically
+    prefers the retry's receipt over any stale duplicate.
+    """
+    manifests: List[Dict] = []
+    for row in status.shards:
+        if row.state == "done":
+            continue
+        bump = (
+            attempt
+            if attempt is not None
+            else (row.attempt if row.attempt is not None else 0) + 1
+        )
+        manifests.append(plan.manifest_for(row.shard_index, attempt=bump))
+    return manifests

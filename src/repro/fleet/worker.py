@@ -54,6 +54,8 @@ class ShardReceipt:
     completed_keys: List[str] = field(default_factory=list)
     stats: RunnerStats = field(default_factory=RunnerStats)
     metrics: Optional[Dict] = None
+    attempt: int = 0
+    round_index: Optional[int] = None
 
     def to_json(self) -> Dict:
         """Schema-versioned receipt payload, round-trippable via from_json."""
@@ -66,14 +68,21 @@ class ShardReceipt:
             "cache_schema": self.cache_schema,
             "completed_keys": list(self.completed_keys),
             "stats": self.stats.to_json(),
+            "attempt": self.attempt,
         }
+        if self.round_index is not None:
+            payload["round_index"] = self.round_index
         if self.metrics is not None:
             payload["metrics"] = self.metrics
         return payload
 
     @classmethod
     def from_json(cls, payload: Dict) -> "ShardReceipt":
-        """Load a receipt, ignoring unknown keys (forward compatibility)."""
+        """Load a receipt, ignoring unknown keys (forward compatibility).
+
+        Pre-retry receipts carry no ``attempt``; they load as attempt 0,
+        so the merge's supersede rule treats them as the first try.
+        """
         return cls(
             plan_id=payload["plan_id"],
             shard_index=payload["shard_index"],
@@ -82,6 +91,8 @@ class ShardReceipt:
             completed_keys=list(payload.get("completed_keys", [])),
             stats=RunnerStats.from_json(payload.get("stats", {})),
             metrics=payload.get("metrics"),
+            attempt=payload.get("attempt", 0),
+            round_index=payload.get("round_index"),
         )
 
     @classmethod
@@ -154,6 +165,7 @@ def run_shard(
         trials=len(specs),
     ):
         backend.run(specs)
+    cycle = manifest.get("cycle") or {}
     receipt = ShardReceipt(
         plan_id=manifest["plan_id"],
         shard_index=manifest["shard_index"],
@@ -162,6 +174,8 @@ def run_shard(
         completed_keys=[entry["cache_key"] for entry in manifest["trials"]],
         stats=backend.stats,
         metrics=diff_snapshots(metrics_before, get_registry().snapshot()),
+        attempt=manifest.get("attempt", 0),
+        round_index=cycle.get("round"),
     )
     receipt.write(cache_dir)
     return receipt

@@ -137,3 +137,173 @@ class TestScheduler:
             seeds.append(seed)
             sched.record_result(pair, {"a": 1e6, "b": 1e6})
         assert len(set(seeds)) == 3
+
+
+class TestPolicyBandEdge:
+    def test_halfwidth_exactly_at_threshold_converges(self):
+        """Section 3.4 says *within* the band: a CI half-width exactly
+        at the threshold counts as converged (<=, not <)."""
+        import math
+
+        from repro.core.policy import PolicyDecision
+
+        probe = make_policy(min_trials=3, max_trials=9)
+        noisy = [[1e6, 20e6, 5e6]]
+        worst = probe.evaluate(noisy).worst_ci_halfwidth_bps
+        assert 0 < worst < float("inf")
+
+        def with_threshold(threshold):
+            return TrialPolicy(
+                TrialPolicyConfig(
+                    min_trials=3,
+                    max_trials=9,
+                    batch_size=3,
+                    ci_halfwidth_bps=threshold,
+                )
+            )
+
+        at_edge = with_threshold(worst).evaluate(noisy)
+        assert at_edge.converged
+        assert isinstance(at_edge, PolicyDecision)
+        just_below = with_threshold(math.nextafter(worst, 0.0))
+        assert not just_below.evaluate(noisy).converged
+
+    def test_decision_json_round_trips_inf_halfwidth(self):
+        """The inf half-width of an under-minimum evaluation maps to
+        JSON null and back (strict JSON has no Infinity)."""
+        import json as jsonlib
+
+        from repro.core.policy import PolicyDecision
+
+        policy = make_policy()
+        decision = policy.evaluate([[1e6], [2e6]])  # below min: inf CI
+        payload = jsonlib.loads(jsonlib.dumps(decision.to_json()))
+        assert payload["worst_ci_halfwidth_bps"] is None
+        restored = PolicyDecision.from_json(payload)
+        assert restored.worst_ci_halfwidth_bps == float("inf")
+        assert restored == decision
+
+    def test_policy_config_json_round_trips_inf(self):
+        import json as jsonlib
+
+        config = TrialPolicyConfig(
+            min_trials=2,
+            max_trials=2,
+            batch_size=2,
+            ci_halfwidth_bps=float("inf"),
+        )
+        payload = jsonlib.loads(jsonlib.dumps(config.to_json()))
+        assert TrialPolicyConfig.from_json(payload) == config
+
+
+class TestConvergenceTracker:
+    def make_tracker(self, policy=None, base_seed=0):
+        from repro.core.convergence import ConvergenceTracker
+
+        return ConvergenceTracker.for_services(
+            ["a", "b"],
+            policy or make_policy(min_trials=3, max_trials=9, batch=3),
+            include_self_pairs=False,
+            base_seed=base_seed,
+        )
+
+    def feed(self, tracker, pair, value_a, value_b=10e6):
+        return tracker.record_trial(pair, {"a": value_a, "b": value_b})
+
+    def test_stable_pair_retires_at_min_trials(self):
+        tracker = self.make_tracker()
+        pair = ("a", "b")
+        assert self.feed(tracker, pair, 10e6) is None  # mid-batch
+        assert self.feed(tracker, pair, 10e6) is None
+        decision = self.feed(tracker, pair, 10e6)  # batch drains
+        assert decision is not None and decision.converged
+        assert not tracker.pending()
+        assert tracker.counts() == {
+            "open": 0, "converged": 1, "unstable": 0,
+        }
+        assert tracker.trials_saved() == 9 - 3
+
+    def test_noisy_pair_runs_to_cap_and_flags_unstable(self):
+        import random
+
+        tracker = self.make_tracker()
+        rng = random.Random(0)
+        pair = ("a", "b")
+        fed = 0
+        while tracker.pending():
+            self.feed(tracker, pair, rng.uniform(1e6, 50e6))
+            fed += 1
+        assert fed == 9  # min 3, then batches of 3 to the cap
+        assert tracker.unstable_pairs() == [pair]
+        assert tracker.trials_saved() == 0
+
+    def test_next_batches_window_follows_trials_done(self):
+        tracker = self.make_tracker()
+        pair = ("a", "b")
+        assert tracker.next_batches() == {pair: (0, 3)}
+        import random
+
+        rng = random.Random(1)
+        for _ in range(3):
+            self.feed(tracker, pair, rng.uniform(1e6, 50e6))
+        assert tracker.next_batches() == {pair: (3, 3)}
+
+    def test_json_round_trip_mid_batch_resumes_identically(self):
+        import json as jsonlib
+        import random
+
+        from repro.core.convergence import ConvergenceTracker
+
+        rng = random.Random(2)
+        values = [rng.uniform(1e6, 50e6) for _ in range(9)]
+        original = self.make_tracker()
+        pair = ("a", "b")
+        for value in values[:4]:  # one full batch + one trial of the next
+            self.feed(original, pair, value)
+        clone = ConvergenceTracker.from_json(
+            jsonlib.loads(jsonlib.dumps(original.to_json()))
+        )
+        assert clone.next_batches() == original.next_batches()
+        assert clone.verdicts() == original.verdicts()
+        for value in values[4:]:
+            left = self.feed(original, pair, value)
+            right = self.feed(clone, pair, value)
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert left == right
+        assert original.verdicts() == clone.verdicts()
+        assert original.seed_for(pair, 7) == clone.seed_for(pair, 7)
+
+    def test_from_json_rejects_schema_skew(self):
+        payload = self.make_tracker().to_json()
+        payload["schema"] = 999
+        from repro.core.convergence import ConvergenceTracker
+
+        with pytest.raises(ValueError, match="schema"):
+            ConvergenceTracker.from_json(payload)
+
+    def test_scheduler_delegates_to_tracker(self):
+        """The scheduler is a thin view over the shared tracker: seeds,
+        states, and verdicts are the same object."""
+        sched = RoundRobinScheduler(
+            ["a", "b"],
+            make_policy(min_trials=3, max_trials=3, batch=3),
+            include_self_pairs=False,
+            base_seed=5,
+        )
+        tracker = sched.tracker
+        assert sched.states is tracker.states
+        pair = ("a", "b")
+        assert sched._seed_for(pair, 2) == tracker.seed_for(pair, 2)
+        for offset in range(3):
+            sched.record_result(pair, {"a": 10e6, "b": 10e6})
+        assert tracker.counts()["converged"] == 1
+        assert sched.unstable_pairs() == tracker.unstable_pairs()
+
+    def test_rejects_duplicate_pairs(self):
+        from repro.core.convergence import ConvergenceTracker
+
+        with pytest.raises(ValueError, match="duplicate"):
+            ConvergenceTracker(
+                [("a", "b"), ("a", "b")], make_policy()
+            )

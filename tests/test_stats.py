@@ -106,3 +106,39 @@ class TestTrialSummary:
     def test_stable_series_tiny_halfwidth(self):
         summary = summarize_trials([10.0] * 20)
         assert summary.ci_halfwidth == 0.0
+
+
+class TestDerivedBootstrapSeed:
+    def test_pure_function_of_data_and_key(self):
+        from repro.core.stats import derive_bootstrap_seed
+
+        data = [10.0, 11.0, 9.0]
+        assert derive_bootstrap_seed(data) == derive_bootstrap_seed(
+            list(data)
+        )
+        assert derive_bootstrap_seed(data, key="a|b|a") != (
+            derive_bootstrap_seed(data, key="a|c|a")
+        )
+        assert derive_bootstrap_seed(data) != derive_bootstrap_seed(
+            [10.0, 11.0, 9.5]
+        )
+
+    def test_ci_with_derived_seed_is_reproducible(self):
+        """seed=None derives the bootstrap seed from (samples, key):
+        the same data gives the same CI on any host, in any order."""
+        from repro.core.stats import derive_bootstrap_seed
+
+        data = [8.0, 12.0, 10.0, 11.0, 9.0]
+        first = bootstrap_median_ci(data, seed=None, key="pair|svc")
+        again = bootstrap_median_ci(data, seed=None, key="pair|svc")
+        assert first == again
+        explicit = bootstrap_median_ci(
+            data, seed=derive_bootstrap_seed(data, key="pair|svc")
+        )
+        assert first == explicit
+
+    def test_summaries_default_to_derived_seed(self):
+        data = [1.0, 20.0, 5.0, 9.0, 2.0]
+        assert summarize_trials(data, key="k") == summarize_trials(
+            data, key="k"
+        )
