@@ -15,6 +15,111 @@ from ..core.results import ResultStore
 from .heatmap import mmf_share_grid, render_grid
 
 
+#: Opening paragraph of the findings page (shared with the incremental
+#: renderer so stitched pages match one-shot renders byte for byte).
+PAGE_INTRO = (
+    "Live all-pairs fairness measurements. Cells show the median "
+    "percentage of its max-min fair share an incumbent service "
+    "achieved against each contender; 100 = exactly fair."
+)
+
+#: Closing paragraph of the findings page.
+PAGE_FOOTER = (
+    "Per-experiment artifacts (queue logs, packet traces, raw trial "
+    "records) are published alongside this page."
+)
+
+
+def render_bandwidth_section(
+    store: ResultStore,
+    service_ids: Sequence[str],
+    bandwidth_bps: float,
+) -> Optional[str]:
+    """One bandwidth's findings section, or ``None`` with no data.
+
+    This is the unit of incremental regeneration: a section's text is a
+    pure function of the store's data *at this bandwidth* (and the id
+    list), so the service only re-renders sections whose data changed.
+    """
+    label = f"{bandwidth_bps / 1e6:.0f} Mbps"
+    report = FairnessReport(store, list(service_ids), bandwidth_bps)
+    stats = report.losing_service_stats()
+    if not stats:
+        return None
+    lines: List[str] = [f"## {label} bottleneck"]
+    lines.append("")
+    lines.append("```")
+    grid = mmf_share_grid(store, service_ids, bandwidth_bps)
+    lines.append(
+        render_grid(
+            grid,
+            service_ids,
+            "median % of incumbent MmF share (rows = contender)",
+            scale=100,
+        )
+    )
+    lines.append("```")
+    lines.append("")
+    lines.append(
+        f"- median losing share: "
+        f"**{stats['median_losing_share'] * 100:.0f}%** "
+        f"({stats['fraction_below_90pct'] * 100:.0f}% of losers below "
+        f"90%, {stats['fraction_below_50pct'] * 100:.0f}% below 50%)"
+    )
+    most = report.most_contentious()
+    least = report.least_contentious()
+    if most and least:
+        lines.append(
+            f"- most contentious service: **{most}**; "
+            f"least contentious: **{least}**"
+        )
+    selfs = report.self_competition_shares()
+    if selfs:
+        mean_self = sum(selfs.values()) / len(selfs)
+        lines.append(
+            f"- self-competition mean share: {mean_self * 100:.0f}%"
+        )
+    worst = _worst_cells(report, service_ids)
+    if worst:
+        lines.append("- worst interactions:")
+        for contender, incumbent, share in worst:
+            lines.append(
+                f"    - {incumbent} gets {share * 100:.0f}% of its "
+                f"fair share against {contender}"
+            )
+    triples = report.find_non_transitive_triples(
+        unfair_below=0.8, fair_above=0.92
+    )
+    if triples:
+        t = triples[0]
+        lines.append(
+            f"- non-transitivity example: {t.alpha} vs {t.beta} "
+            f"({t.beta_vs_alpha * 100:.0f}%), {t.beta} vs {t.gamma} "
+            f"({t.gamma_vs_beta * 100:.0f}%), yet {t.gamma} vs "
+            f"{t.alpha} = {t.gamma_vs_alpha * 100:.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def assemble_page(
+    sections: Sequence[str],
+    title: str = "Prudentia - Internet Fairness Watchdog",
+) -> str:
+    """Stitch rendered bandwidth sections into the full findings page.
+
+    ``assemble_page([render_bandwidth_section(...), ...])`` is byte-
+    identical to :func:`render_markdown_report` over the same inputs -
+    the incremental site regenerator relies on this equivalence.
+    """
+    lines: List[str] = [f"# {title}", "", PAGE_INTRO]
+    for section in sections:
+        lines.append("")
+        lines.append(section)
+    lines.append("")
+    lines.append(PAGE_FOOTER)
+    return "\n".join(lines)
+
+
 def render_markdown_report(
     store: ResultStore,
     service_ids: Sequence[str],
@@ -22,77 +127,12 @@ def render_markdown_report(
     title: str = "Prudentia - Internet Fairness Watchdog",
 ) -> str:
     """Render a full findings page for the measured settings."""
-    lines: List[str] = [f"# {title}", ""]
-    lines.append(
-        "Live all-pairs fairness measurements. Cells show the median "
-        "percentage of its max-min fair share an incumbent service "
-        "achieved against each contender; 100 = exactly fair."
-    )
+    sections = []
     for bandwidth in bandwidths_bps:
-        label = f"{bandwidth / 1e6:.0f} Mbps"
-        report = FairnessReport(store, list(service_ids), bandwidth)
-        stats = report.losing_service_stats()
-        if not stats:
-            continue
-        lines.append("")
-        lines.append(f"## {label} bottleneck")
-        lines.append("")
-        lines.append("```")
-        grid = mmf_share_grid(store, service_ids, bandwidth)
-        lines.append(
-            render_grid(
-                grid,
-                service_ids,
-                "median % of incumbent MmF share (rows = contender)",
-                scale=100,
-            )
-        )
-        lines.append("```")
-        lines.append("")
-        lines.append(
-            f"- median losing share: "
-            f"**{stats['median_losing_share'] * 100:.0f}%** "
-            f"({stats['fraction_below_90pct'] * 100:.0f}% of losers below "
-            f"90%, {stats['fraction_below_50pct'] * 100:.0f}% below 50%)"
-        )
-        most = report.most_contentious()
-        least = report.least_contentious()
-        if most and least:
-            lines.append(
-                f"- most contentious service: **{most}**; "
-                f"least contentious: **{least}**"
-            )
-        selfs = report.self_competition_shares()
-        if selfs:
-            mean_self = sum(selfs.values()) / len(selfs)
-            lines.append(
-                f"- self-competition mean share: {mean_self * 100:.0f}%"
-            )
-        worst = _worst_cells(report, service_ids)
-        if worst:
-            lines.append("- worst interactions:")
-            for contender, incumbent, share in worst:
-                lines.append(
-                    f"    - {incumbent} gets {share * 100:.0f}% of its "
-                    f"fair share against {contender}"
-                )
-        triples = report.find_non_transitive_triples(
-            unfair_below=0.8, fair_above=0.92
-        )
-        if triples:
-            t = triples[0]
-            lines.append(
-                f"- non-transitivity example: {t.alpha} vs {t.beta} "
-                f"({t.beta_vs_alpha * 100:.0f}%), {t.beta} vs {t.gamma} "
-                f"({t.gamma_vs_beta * 100:.0f}%), yet {t.gamma} vs "
-                f"{t.alpha} = {t.gamma_vs_alpha * 100:.0f}%"
-            )
-    lines.append("")
-    lines.append(
-        "Per-experiment artifacts (queue logs, packet traces, raw trial "
-        "records) are published alongside this page."
-    )
-    return "\n".join(lines)
+        section = render_bandwidth_section(store, service_ids, bandwidth)
+        if section is not None:
+            sections.append(section)
+    return assemble_page(sections, title=title)
 
 
 def _worst_cells(

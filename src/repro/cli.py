@@ -15,6 +15,9 @@ watchdog is driven:
   (see :mod:`repro.bench`)
 - ``obs``       - observability artifacts: span-trace summaries, Chrome
   trace export, heartbeat inspection (see :mod:`repro.obs.cli`)
+- ``service``   - long-running watchdog coordinator: spool ingestion,
+  rolling result store, incremental findings site, submissions
+  (see :mod:`repro.service.cli`)
 
 Global flags (before the subcommand): ``--log-level``/``--log-json``
 route the library's structured diagnostics to stderr, ``--trace-file``
@@ -55,6 +58,7 @@ from .fleet.cli import register as register_fleet
 from .obs import tracing
 from .obs.cli import register as register_obs
 from .obs.log import LEVELS, configure as configure_logging, get_logger
+from .service.cli import register as register_service
 from .services.catalog import default_catalog
 
 _log = get_logger("cli")
@@ -546,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     register_fleet(sub)
     register_obs(sub)
+    register_service(sub)
 
     return parser
 

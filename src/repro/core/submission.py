@@ -83,9 +83,22 @@ class SubmissionPortal:
             raise SubmissionError("invalid access code")
         if "://" not in url or not url.split("://", 1)[-1]:
             raise SubmissionError(f"malformed URL: {url!r}")
+        host = url.split("://", 1)[-1].split("/", 1)[0]
+        if not host:
+            raise SubmissionError(
+                f"malformed URL: {url!r} has an empty host"
+            )
         service_id = _service_id_from_url(url)
         if service_id in self.catalog:
-            raise SubmissionError(f"{url!r} is already registered")
+            for prior in self.submissions:
+                if prior.service_id == service_id:
+                    # Re-submitting an already-registered URL is a no-op,
+                    # not an error: return the original acceptance.
+                    return prior
+            raise SubmissionError(
+                f"{url!r} collides with first-party service "
+                f"{service_id!r}"
+            )
 
         factory = cca_factory or (lambda i: Cubic())
         is_download = url.lower().endswith(DOWNLOAD_EXTENSIONS)

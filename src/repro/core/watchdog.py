@@ -11,7 +11,7 @@ has since 2022.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..browser.environment import ClientEnvironment
 from ..config import (
@@ -229,20 +229,48 @@ class Prudentia:
 
     def run_continuously(
         self,
-        cycles: int,
+        cycles: Optional[int] = None,
         service_ids: Optional[List[str]] = None,
+        stop: Optional[Callable[[], bool]] = None,
+        stop_file: Optional[Union[str, Path]] = None,
     ) -> ResultStore:
         """Repeat all-pairs sweeps (the live-deployment mode).
 
+        ``cycles=None`` runs open-ended - the deployment shape, where
+        the watchdog measures until told to stop - and then requires a
+        stop condition: a ``stop`` callback and/or a ``stop_file`` path
+        whose existence ends the loop, both checked *between* cycles so
+        a cycle is never abandoned mid-sweep.  With a bounded ``cycles``
+        the stop conditions are optional early exits.
+
         With a ``heartbeat_path`` configured, the heartbeat file tracks
-        per-cycle progress and an ETA over the remaining cycles.
+        per-cycle progress; its ETA is ``None`` when the horizon is
+        unbounded rather than a fabricated number.
         """
-        if cycles < 1:
+        if cycles is not None and cycles < 1:
             raise ValueError("need at least one cycle")
+        if cycles is None and stop is None and stop_file is None:
+            raise ValueError(
+                "open-ended run (cycles=None) needs a stop callback "
+                "or stop_file"
+            )
+        stop_path = Path(stop_file) if stop_file is not None else None
+
+        def _should_stop() -> bool:
+            if stop is not None and stop():
+                return True
+            return stop_path is not None and stop_path.exists()
+
         if self.heartbeat is not None:
             self.heartbeat.starting(cycles_total=cycles)
-        for _ in range(cycles):
+        completed = 0
+        while cycles is None or completed < cycles:
+            if _should_stop():
+                break
             self.run_cycle(service_ids=service_ids)
+            completed += 1
+        if self.heartbeat is not None and cycles is None:
+            self.heartbeat.finished()
         return self.store
 
     # ------------------------------------------------------------------

@@ -443,6 +443,42 @@ class AdaptiveCycleState:
     # Progress rendering (fleet status)
     # ------------------------------------------------------------------
 
+    def progress_json(self) -> Dict:
+        """Machine-readable convergence progress (``fleet status --json``).
+
+        The progress view of the cycle: identity and round counters plus
+        per-network convergence counts and the per-round history - but
+        not the trackers' full per-pair state, which belongs to
+        ``cycle-state.json``, not a status probe.
+        """
+        networks = []
+        for index, network in enumerate(self.networks):
+            tracker = self.trackers[index]
+            counts = tracker.counts()
+            networks.append(
+                {
+                    "bandwidth_bps": network.bandwidth_bps,
+                    "pairs": len(tracker.states),
+                    "converged": counts["converged"],
+                    "unstable": counts["unstable"],
+                    "open": counts["open"],
+                    "trials_done": tracker.trials_done_total(),
+                    "trials_saved": tracker.trials_saved(),
+                    "max_trials_per_pair": tracker.policy.config.max_trials,
+                }
+            )
+        return {
+            "kind": "adaptive-cycle-progress",
+            "cycle_id": self.cycle_id,
+            "done": self.done,
+            "round_index": self.round_index,
+            "pairs_open": self.open_pairs_total(),
+            "trials_done": self.trials_done_total(),
+            "trials_saved": self.trials_saved(),
+            "networks": networks,
+            "rounds": list(self.history),
+        }
+
     def render_progress(self) -> str:
         """Per-round convergence progress for ``fleet status``."""
         lines = [

@@ -162,12 +162,7 @@ def cmd_fleet_status(args) -> int:
     if target.is_dir() and (target / STATE_FILENAME).exists():
         state = AdaptiveCycleState.load(target)
         if args.json:
-            payload = state.to_json()
-            del payload["trackers"]  # progress view, not the full state
-            payload["done"] = state.done
-            payload["trials_done"] = state.trials_done_total()
-            payload["trials_saved"] = state.trials_saved()
-            print(json.dumps(payload, indent=1))
+            print(json.dumps(state.progress_json(), indent=1))
         else:
             print(state.render_progress())
         return 0 if state.done else 1

@@ -1,0 +1,164 @@
+"""Incremental findings-site regeneration.
+
+The live site is always consistent and always fresh: after every
+ingested cycle, only the bandwidth sections whose data changed are
+re-rendered, and every file write is atomic (write-temp-then-rename),
+so a reader - or a crash - never sees a half-written page.
+
+Layout under the site directory::
+
+    site/
+      index.md                 - the stitched findings page
+      sections/bw-<tag>.md     - one file per bandwidth section
+      site-state.json          - per-section content hashes (the
+                                 incremental-regeneration ledger)
+
+Section text is a pure function of the windowed store's data at that
+bandwidth (see :func:`repro.analysis.site.render_bandwidth_section`),
+and the per-bandwidth id list is derived from that bandwidth's own data
+- so ingesting a cycle that only touched 8 Mbps leaves the 50 Mbps
+section file byte-identical, which the test suite asserts.  The state
+file carries only content hashes (no wall-clock), keeping the whole
+site directory deterministic for the kill-and-restart identity check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..analysis.site import assemble_page, render_bandwidth_section
+from ..core.results import ResultStore
+
+#: State filename inside the site directory.
+SITE_STATE_FILENAME = "site-state.json"
+
+#: Bump when the site-state layout changes incompatibly.
+SITE_STATE_SCHEMA_VERSION = 1
+
+
+def bandwidth_tag(bandwidth_bps: float) -> str:
+    """Filesystem-safe tag for one bandwidth (``8mbps``, ``2.5mbps``)."""
+    return f"{bandwidth_bps / 1e6:g}mbps".replace(".", "_")
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _service_ids_at(store: ResultStore, bandwidth_bps: float) -> List[str]:
+    """Services with data at one bandwidth (the section's axis order)."""
+    ids: Set[str] = set()
+    for a, b, bandwidth in store.pairs():
+        if bandwidth == bandwidth_bps:
+            ids.add(a)
+            ids.add(b)
+    return sorted(ids)
+
+
+class SiteRenderer:
+    """Maintains the findings-site directory across ingests."""
+
+    def __init__(
+        self,
+        site_dir: Union[str, Path],
+        title: str = "Prudentia - Internet Fairness Watchdog",
+    ) -> None:
+        self.site_dir = Path(site_dir)
+        self.sections_dir = self.site_dir / "sections"
+        self.sections_dir.mkdir(parents=True, exist_ok=True)
+        self.title = title
+
+    @property
+    def state_path(self) -> Path:
+        return self.site_dir / SITE_STATE_FILENAME
+
+    @property
+    def index_path(self) -> Path:
+        return self.site_dir / "index.md"
+
+    def _load_state(self) -> Dict:
+        if not self.state_path.exists():
+            return {"schema": SITE_STATE_SCHEMA_VERSION, "sections": []}
+        payload = json.loads(self.state_path.read_text())
+        if payload.get("schema") != SITE_STATE_SCHEMA_VERSION:
+            return {"schema": SITE_STATE_SCHEMA_VERSION, "sections": []}
+        return payload
+
+    def regenerate(
+        self,
+        store: ResultStore,
+        changed_bandwidths: Optional[Sequence[float]] = None,
+    ) -> List[float]:
+        """Bring the site up to date with ``store``; return what changed.
+
+        With ``changed_bandwidths`` given (the bandwidths the just-
+        ingested cycle touched), only those sections are re-rendered;
+        every other section file is left untouched - not even re-read.
+        With ``None`` (service startup, or an explicit full refresh),
+        every bandwidth in the store is re-rendered, which also heals a
+        crash that landed between a journal commit and the site write.
+        """
+        state = self._load_state()
+        known: Dict[float, Dict] = {
+            entry["bandwidth_bps"]: entry for entry in state["sections"]
+        }
+        present = {bw for _a, _b, bw in store.pairs()}
+        if changed_bandwidths is None:
+            targets = set(present) | set(known)
+        else:
+            targets = set(changed_bandwidths)
+        changed: List[float] = []
+        for bandwidth in sorted(targets):
+            tag = bandwidth_tag(bandwidth)
+            path = self.sections_dir / f"bw-{tag}.md"
+            ids = _service_ids_at(store, bandwidth)
+            section = (
+                render_bandwidth_section(store, ids, bandwidth)
+                if ids
+                else None
+            )
+            if section is None:
+                # Bandwidth aged out of the window: retire its section.
+                if bandwidth in known:
+                    known.pop(bandwidth)
+                    if path.exists():
+                        path.unlink()
+                    changed.append(bandwidth)
+                continue
+            digest = hashlib.sha256(section.encode("utf-8")).hexdigest()
+            entry = known.get(bandwidth)
+            if entry is not None and entry["sha256"] == digest:
+                continue
+            _atomic_write(path, section + "\n")
+            known[bandwidth] = {
+                "bandwidth_bps": bandwidth,
+                "tag": tag,
+                "sha256": digest,
+            }
+            changed.append(bandwidth)
+        if changed or not self.index_path.exists():
+            self._write_index(known)
+            state["sections"] = [
+                known[bw] for bw in sorted(known)
+            ]
+            _atomic_write(
+                self.state_path,
+                json.dumps(state, indent=1, sort_keys=True),
+            )
+        return changed
+
+    def _write_index(self, known: Dict[float, Dict]) -> None:
+        """Stitch ``index.md`` from the section files, atomically."""
+        sections = []
+        for bandwidth in sorted(known):
+            path = self.sections_dir / f"bw-{known[bandwidth]['tag']}.md"
+            sections.append(path.read_text().rstrip("\n"))
+        _atomic_write(
+            self.index_path, assemble_page(sections, title=self.title) + "\n"
+        )

@@ -403,6 +403,29 @@ class TestAdaptiveCycleAcceptance:
         assert "converged" in progress
         assert f"{state.round_index} round(s)" in progress
 
+    def test_progress_json_is_machine_readable(self, converged):
+        """``fleet status --json`` payload: per-network convergence and
+        per-round history, JSON-round-trippable, no tracker internals."""
+        out, state = converged
+        payload = json.loads(
+            json.dumps(AdaptiveCycleState.load(out).progress_json())
+        )
+        assert payload["cycle_id"] == state.cycle_id
+        assert payload["done"] is True
+        assert payload["pairs_open"] == 0
+        assert payload["trials_done"] == state.trials_done_total()
+        assert "trackers" not in payload
+        assert len(payload["networks"]) == 1
+        network = payload["networks"][0]
+        assert network["bandwidth_bps"] == NET.bandwidth_bps
+        assert network["open"] == 0
+        assert (
+            network["converged"] + network["unstable"] == network["pairs"]
+        )
+        assert len(payload["rounds"]) == state.round_index
+        for entry in payload["rounds"]:
+            assert {"round", "trials"} <= set(entry)
+
 
 class TestManifestMigration:
     def test_v1_plan_still_loads_with_stable_id(self):

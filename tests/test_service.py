@@ -1,0 +1,500 @@
+"""Watchdog-as-a-service: store durability, spool ingestion, crash
+recovery, submissions, and the kill-and-restart acceptance invariant.
+
+The acceptance test for this subsystem: SIGKILL the coordinator at the
+worst moment (trial records durable, commit record not), restart it, and
+the replayed store plus regenerated site must be byte-identical to an
+uninterrupted run over the same spool - with zero re-simulation, since
+ingestion only ever folds from the entry's cache.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import units
+from repro.config import ExperimentConfig, TrialPolicyConfig, highly_constrained
+from repro.core.cache import TrialCache
+from repro.fleet.adaptive import AdaptiveCycleState, run_adaptive_cycle
+from repro.fleet.plan import plan_cycle
+from repro.fleet.worker import run_shard
+from repro.service import (
+    CycleRecord,
+    RollingResultStore,
+    ServiceError,
+    WatchdogService,
+)
+from repro.service.coordinator import FAULT_ENV
+from repro.core.submission import DEFAULT_ACCESS_CODES
+
+FAST = ExperimentConfig().scaled(4)
+NET = highly_constrained()
+IDS = ["iperf_cubic", "iperf_reno"]
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def fake_result(seed, bw=units.mbps(8)):
+    """A minimal raw ExperimentResult payload for store-only tests."""
+    ids = ["a", "b"]
+    return {
+        "contender_id": "a",
+        "incumbent_id": "b",
+        "bandwidth_bps": bw,
+        "buffer_packets": 64,
+        "seed": seed,
+        "duration_usec": units.seconds(30),
+        "throughput_bps": {sid: bw / 2 for sid in ids},
+        "mmf_allocation_bps": {sid: bw / 2 for sid in ids},
+        "mmf_share": {sid: 1.0 for sid in ids},
+        "loss_rate": {sid: 0.0 for sid in ids},
+        "queueing_delay_usec": {sid: 0.0 for sid in ids},
+        "utilization": 1.0,
+    }
+
+
+def make_record(cycle_id, trials=2):
+    return CycleRecord(
+        cycle_id=cycle_id,
+        source=f"entry-{cycle_id}",
+        kind="fixed",
+        results=[fake_result(seed) for seed in range(trials)],
+    )
+
+
+def make_fixed_entry(entry, trials_per_pair=1, base_seed=7, shards=(0, 1)):
+    """A merged fixed-plan cycle directory: plan + executed cache."""
+    entry.mkdir(parents=True)
+    plan = plan_cycle(
+        IDS, [NET], FAST,
+        trials_per_pair=trials_per_pair, num_shards=2, base_seed=base_seed,
+    )
+    plan.write(entry)
+    for shard in shards:
+        run_shard(entry / f"shard-{shard}.json", entry / "cache")
+    return plan
+
+
+def make_service(root, **kwargs):
+    kwargs.setdefault("networks", [NET])
+    kwargs.setdefault("plan_config", FAST)
+    kwargs.setdefault("plan_trials", 1)
+    return WatchdogService(root / "spool", root / "out", **kwargs)
+
+
+class TestRollingResultStore:
+    def test_append_and_replay_round_trip(self, tmp_path):
+        store = RollingResultStore(tmp_path)
+        store.append_cycle(make_record("c1"))
+        store.append_cycle(make_record("c2", trials=3))
+        reopened = RollingResultStore(tmp_path)
+        assert [r.cycle_id for r in reopened.cycles()] == ["c1", "c2"]
+        assert len(reopened) == 5
+
+    def test_duplicate_cycle_id_rejected(self, tmp_path):
+        store = RollingResultStore(tmp_path)
+        store.append_cycle(make_record("c1"))
+        with pytest.raises(ValueError, match="already ingested"):
+            store.append_cycle(make_record("c1"))
+
+    def test_torn_tail_dropped_on_replay(self, tmp_path):
+        store = RollingResultStore(tmp_path)
+        store.append_cycle(make_record("c1"))
+        with open(store.journal_path, "a") as fh:
+            fh.write('{"record": "begin", "cycle_id": "c2", "ki')
+        reopened = RollingResultStore(tmp_path)
+        assert [r.cycle_id for r in reopened.cycles()] == ["c1"]
+
+    def test_uncommitted_segment_discarded(self, tmp_path):
+        """Trials without their commit record never happened."""
+        store = RollingResultStore(tmp_path)
+        store.append_cycle(make_record("c1"))
+
+        died = RollingResultStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            died.append_cycle(
+                make_record("c2"),
+                pre_commit=lambda: (_ for _ in ()).throw(
+                    RuntimeError("crash")
+                ),
+            )
+        reopened = RollingResultStore(tmp_path)
+        assert [r.cycle_id for r in reopened.cycles()] == ["c1"]
+        # The same cycle can then be re-ingested cleanly.
+        reopened.append_cycle(make_record("c2"))
+        assert [r.cycle_id for r in RollingResultStore(tmp_path).cycles()] \
+            == ["c1", "c2"]
+
+    def test_compact_folds_journal_into_snapshot(self, tmp_path):
+        store = RollingResultStore(tmp_path)
+        store.append_cycle(make_record("c1"))
+        store.append_cycle(make_record("c2"))
+        store.compact()
+        assert store.journal_path.read_text() == ""
+        assert store.snapshot_path.exists()
+        reopened = RollingResultStore(tmp_path)
+        assert [r.cycle_id for r in reopened.cycles()] == ["c1", "c2"]
+        assert len(reopened) == 4
+
+    def test_compact_window_drops_old_cycles(self, tmp_path):
+        store = RollingResultStore(tmp_path)
+        for index in range(4):
+            store.append_cycle(make_record(f"c{index}"))
+        store.compact(max_cycles=2)
+        assert [r.cycle_id for r in store.cycles()] == ["c2", "c3"]
+        reopened = RollingResultStore(tmp_path)
+        assert [r.cycle_id for r in reopened.cycles()] == ["c2", "c3"]
+
+    def test_store_view_windows(self, tmp_path):
+        store = RollingResultStore(tmp_path)
+        for index in range(3):
+            store.append_cycle(make_record(f"c{index}"))
+        assert len(list(store.store_view().all_results())) == 6
+        assert len(list(store.store_view(last_cycles=1).all_results())) == 2
+        stamps = {"c0": 10.0, "c1": 20.0, "c2": 30.0}
+        view = store.store_view(since_unix=15.0, timestamps=stamps)
+        assert len(list(view.all_results())) == 4
+        # Unknown timestamps err on the side of inclusion.
+        view = store.store_view(since_unix=15.0, timestamps={})
+        assert len(list(view.all_results())) == 6
+
+    def test_partial_then_full_cycle_supersedes_in_view(self, tmp_path):
+        """A fuller re-delivery of the same base cycle replaces the
+        earlier partial ingest in windowed views (no double counting)."""
+        store = RollingResultStore(tmp_path)
+        partial = CycleRecord(
+            cycle_id="base+2", source="e", kind="adaptive", partial=True,
+            results=[fake_result(seed) for seed in range(2)],
+        )
+        store.append_cycle(partial)
+        full = CycleRecord(
+            cycle_id="base", source="e", kind="adaptive",
+            results=[fake_result(seed) for seed in range(5)],
+        )
+        store.append_cycle(full)
+        assert len(list(store.store_view().all_results())) == 5
+
+
+class TestServiceIngest:
+    def test_fixed_cycle_end_to_end(self, tmp_path):
+        service = make_service(tmp_path)
+        make_fixed_entry(tmp_path / "spool" / "incoming" / "cycle-a")
+        summary = service.ingest_once()
+        assert summary["cycles_total"] == 1
+        report = summary["ingested"][0]
+        assert report["kind"] == "fixed" and not report["partial"]
+        assert report["trials"] == 3  # 2 self pairs + 1 cross pair
+        assert not (tmp_path / "spool" / "incoming" / "cycle-a").exists()
+        assert (tmp_path / "spool" / "done" / "cycle-a").exists()
+        index = (tmp_path / "out" / "site" / "index.md").read_text()
+        assert "8 Mbps bottleneck" in index
+        assert (tmp_path / "out" / "next-plan" / "plan.json").exists()
+
+    def test_redelivery_is_idempotent(self, tmp_path):
+        service = make_service(tmp_path)
+        entry = tmp_path / "spool" / "incoming" / "cycle-a"
+        make_fixed_entry(entry)
+        backup = tmp_path / "copy"
+        shutil.copytree(entry, backup)
+        service.ingest_once()
+        shutil.copytree(backup, tmp_path / "spool" / "incoming" / "cycle-a2")
+        summary = service.ingest_once()
+        assert summary["ingested"][0]["skipped"]
+        assert summary["cycles_total"] == 1
+        assert (tmp_path / "spool" / "done" / "cycle-a2").exists()
+
+    def test_partial_fixed_cycle_requeues_missing_shard(self, tmp_path):
+        """Shard loss: what converged is ingested, the missing shard is
+        re-queued through the attempt-bump retry path."""
+        service = make_service(tmp_path)
+        entry = tmp_path / "spool" / "incoming" / "cycle-a"
+        # 2 trials/pair spreads work across both shards; shard 1 is lost.
+        plan = make_fixed_entry(entry, trials_per_pair=2, shards=(0,))
+        summary = service.ingest_once()
+        report = summary["ingested"][0]
+        assert report["partial"]
+        assert 0 < report["trials"] < len(plan.trials)
+        assert report["requeued"], "missing shard must be re-queued"
+        retry = Path(report["requeued"][0])
+        assert retry.exists()
+        manifest = json.loads(retry.read_text())
+        assert manifest["attempt"] == 1
+        # The retried shard's results can be delivered later as a fuller
+        # re-ingest of the same plan.
+        assert report["cycle_id"].startswith(plan.plan_id)
+        assert report["cycle_id"] != plan.plan_id
+
+    def test_adaptive_cycle_ingested_from_assembly_plan(self, tmp_path):
+        service = make_service(tmp_path)
+        entry = tmp_path / "spool" / "incoming" / "cycle-adaptive"
+        policy = TrialPolicyConfig(
+            min_trials=2, max_trials=2, batch_size=2,
+            ci_halfwidth_bps=units.mbps(100),
+        )
+        run_adaptive_cycle(
+            entry, IDS, [NET], FAST, policies=[policy],
+            num_shards=2, base_seed=3,
+        )
+        summary = service.ingest_once()
+        report = summary["ingested"][0]
+        assert report["kind"] == "adaptive"
+        assert not report["partial"]
+        assert report["trials"] == 6  # 3 pairs x 2 trials
+
+    def test_partial_adaptive_cycle_ingests_and_requeues(self, tmp_path):
+        """A cycle whose fleet died mid-run: folded rounds are ingested,
+        open pairs are re-planned into retry manifests."""
+        policy = TrialPolicyConfig(
+            min_trials=2, max_trials=6, batch_size=2,
+            ci_halfwidth_bps=1.0,  # ~never converges in 2 trials
+        )
+        state = AdaptiveCycleState.create(
+            IDS, [NET], FAST, policies=[policy], base_seed=3,
+        )
+        entry = tmp_path / "spool" / "incoming" / "cycle-partial"
+        plan = state.plan_round(num_shards=2)
+        plan_dir = tmp_path / "round0"
+        plan.write(plan_dir)
+        for shard in range(2):
+            run_shard(plan_dir / f"shard-{shard}.json", entry / "cache")
+        state.fold_round(plan, TrialCache(entry / "cache"))
+        assert not state.done
+        state.save(entry)
+
+        service = make_service(tmp_path)
+        summary = service.ingest_once()
+        report = summary["ingested"][0]
+        assert report["kind"] == "adaptive" and report["partial"]
+        assert report["trials"] == state.trials_done_total()
+        assert report["requeued"], "open pairs must be re-queued"
+        retry_plan = json.loads(
+            (Path(report["requeued"][0]).parent / "plan.json").read_text()
+        )
+        assert retry_plan["cycle"]["id"] == state.cycle_id
+
+    def test_cache_miss_moves_entry_to_failed(self, tmp_path):
+        service = make_service(tmp_path)
+        entry = tmp_path / "spool" / "incoming" / "cycle-bad"
+        entry.mkdir(parents=True)
+        plan = plan_cycle(
+            IDS, [NET], FAST, trials_per_pair=1, num_shards=2, base_seed=7
+        )
+        plan.write(entry)
+        (entry / "cache").mkdir()  # empty cache but present: claims full
+        # An empty cache dir means zero covered trials -> partial path,
+        # which never hits the cache-only backend.  Force the full path
+        # by pointing at an adaptive state with trials recorded but no
+        # cache to back them.
+        shutil.rmtree(entry)
+        policy = TrialPolicyConfig(
+            min_trials=2, max_trials=2, batch_size=2,
+            ci_halfwidth_bps=units.mbps(100),
+        )
+        state = AdaptiveCycleState.create(
+            IDS, [NET], FAST, policies=[policy], base_seed=3,
+        )
+        round_plan = state.plan_round(num_shards=1)
+        cache_dir = tmp_path / "elsewhere"
+        run_shard(round_plan.manifest_for(0), cache_dir)
+        state.fold_round(round_plan, TrialCache(cache_dir))
+        entry.mkdir(parents=True)
+        state.save(entry)  # no cache/ rides along
+        with pytest.raises(ServiceError, match="missing from its cache"):
+            service.ingest_once()
+        assert (tmp_path / "spool" / "failed" / "cycle-bad").exists()
+
+    def test_submission_flows_into_next_plan_and_survives_restart(
+        self, tmp_path
+    ):
+        service = make_service(tmp_path)
+        line = json.dumps(
+            {"url": "https://example.net/app",
+             "access_code": DEFAULT_ACCESS_CODES[0]}
+        )
+        (tmp_path / "spool" / "submissions.jsonl").write_text(line + "\n")
+        summary = service.ingest_once()
+        accepted = summary["submissions_accepted"]
+        assert [s["service_id"] for s in accepted] == ["ext_example_net"]
+        plan = json.loads(
+            (tmp_path / "out" / "next-plan" / "plan.json").read_text()
+        )
+        planned_ids = {
+            sid for t in plan["trials"] for sid in t["service_ids"]
+        }
+        assert "ext_example_net" in planned_ids
+
+        # Restart: the ledger replays into a fresh catalog, and the
+        # already-processed line is not re-processed.
+        restarted = make_service(tmp_path)
+        assert "ext_example_net" in restarted.catalog
+        assert restarted.ingest_once()["submissions_accepted"] == []
+
+    def test_bad_submission_recorded_not_fatal(self, tmp_path):
+        service = make_service(tmp_path)
+        lines = [
+            json.dumps({"url": "https://ok.example",
+                        "access_code": DEFAULT_ACCESS_CODES[0]}),
+            json.dumps({"url": "https://bad.example",
+                        "access_code": "wrong-code"}),
+            "not json at all",
+        ]
+        (tmp_path / "spool" / "submissions.jsonl").write_text(
+            "\n".join(lines) + "\n"
+        )
+        summary = service.ingest_once()
+        assert len(summary["submissions_accepted"]) == 1
+        assert len(service.state["submissions"]["rejected"]) == 2
+
+    def test_status_shape(self, tmp_path):
+        service = make_service(tmp_path)
+        make_fixed_entry(tmp_path / "spool" / "incoming" / "cycle-a")
+        service.ingest_once()
+        status = service.status()
+        assert status["cycles_ingested"] == 1
+        assert status["trials_total"] == 3
+        assert status["pending_entries"] == []
+        assert status["bandwidths_bps"] == [units.mbps(8)]
+
+    def test_run_loop_stops_on_stop_file(self, tmp_path):
+        service = make_service(tmp_path, poll_sec=0.1)
+        make_fixed_entry(tmp_path / "spool" / "incoming" / "cycle-a")
+        service.stop_file.parent.mkdir(parents=True, exist_ok=True)
+        service.stop_file.write_text("")
+        assert service.run() == 0
+        # The startup pass still ran before the stop check.
+        assert len(service.store.cycles()) == 1
+        heartbeat = json.loads(
+            (tmp_path / "out" / "heartbeat.json").read_text()
+        )
+        assert heartbeat["phase"] == "done"
+
+
+def _run_cli(args, env_extra=None, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, capture_output=True, text=True, **kwargs,
+    )
+
+
+class TestKillAndRestart:
+    """The subsystem's acceptance criterion, driven over the real CLI."""
+
+    def _spool_with_entry(self, root, template):
+        spool = root / "spool"
+        (spool / "incoming").mkdir(parents=True)
+        shutil.copytree(template, spool / "incoming" / "cycle-a")
+        return spool
+
+    def _tree_bytes(self, root):
+        return {
+            str(path.relative_to(root)): path.read_bytes()
+            for path in sorted(root.rglob("*"))
+            if path.is_file()
+        }
+
+    def test_sigkill_mid_ingest_then_restart_is_byte_identical(
+        self, tmp_path
+    ):
+        template = tmp_path / "template"
+        make_fixed_entry(template)
+        service_args = lambda root: [  # noqa: E731
+            "service", "ingest-once",
+            "--spool", str(root / "spool"), "--out", str(root / "out"),
+            "--plan-bandwidths", "8", "--plan-duration", "4",
+            "--plan-trials", "1",
+        ]
+
+        # Control: uninterrupted ingest.
+        control = tmp_path / "control"
+        self._spool_with_entry(control, template)
+        done = _run_cli(service_args(control))
+        assert done.returncode == 0, done.stderr
+
+        # Faulted: die by SIGKILL after the trial records are durable
+        # but before the commit record - the worst possible moment.
+        faulted = tmp_path / "faulted"
+        self._spool_with_entry(faulted, template)
+        killed = _run_cli(
+            service_args(faulted), env_extra={FAULT_ENV: "pre-commit"}
+        )
+        assert killed.returncode == -signal.SIGKILL
+        # The entry was not consumed and nothing was committed.
+        assert (faulted / "spool" / "incoming" / "cycle-a").exists()
+
+        # Restart without the fault: replay + re-ingest.
+        recovered = _run_cli(service_args(faulted))
+        assert recovered.returncode == 0, recovered.stderr
+        summary = json.loads(recovered.stdout)
+        assert summary["ingested"][0]["trials"] == 3
+
+        # Zero re-simulation: folding is cache-only by construction (a
+        # cache miss aborts the ingest; see
+        # test_cache_miss_moves_entry_to_failed), so recovery cost is
+        # replay + cache folding only.  And the acceptance bar: store
+        # and site byte-identical to the uninterrupted run.
+        assert self._tree_bytes(faulted / "out" / "store") == \
+            self._tree_bytes(control / "out" / "store")
+        assert self._tree_bytes(faulted / "out" / "site") == \
+            self._tree_bytes(control / "out" / "site")
+
+    def test_sigkill_post_commit_then_restart_skips_refold(self, tmp_path):
+        """Dying after the commit but before the entry moves: the restart
+        recognises the committed cycle and does not double-ingest."""
+        template = tmp_path / "template"
+        make_fixed_entry(template)
+        root = tmp_path / "run"
+        self._spool_with_entry(root, template)
+        args = [
+            "service", "ingest-once",
+            "--spool", str(root / "spool"), "--out", str(root / "out"),
+            "--plan-bandwidths", "8", "--plan-duration", "4",
+            "--plan-trials", "1",
+        ]
+        killed = _run_cli(args, env_extra={FAULT_ENV: "post-commit"})
+        assert killed.returncode == -signal.SIGKILL
+        assert (root / "spool" / "incoming" / "cycle-a").exists()
+
+        recovered = _run_cli(args)
+        assert recovered.returncode == 0, recovered.stderr
+        summary = json.loads(recovered.stdout)
+        assert summary["ingested"][0]["skipped"]
+        assert summary["cycles_total"] == 1
+        assert (root / "spool" / "done" / "cycle-a").exists()
+
+    def test_service_run_exits_zero_on_sigterm(self, tmp_path):
+        (tmp_path / "spool" / "incoming").mkdir(parents=True)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "service", "run",
+                "--spool", str(tmp_path / "spool"),
+                "--out", str(tmp_path / "out"),
+                "--poll-sec", "0.2",
+                "--plan-bandwidths", "8", "--plan-duration", "4",
+                "--plan-trials", "1",
+            ],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.time() + 30
+            heartbeat = tmp_path / "out" / "heartbeat.json"
+            while time.time() < deadline and not heartbeat.exists():
+                time.sleep(0.1)
+            assert heartbeat.exists(), "service never started"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert json.loads(heartbeat.read_text())["phase"] == "done"

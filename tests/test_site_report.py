@@ -1,21 +1,31 @@
 """The website-style markdown findings report."""
 
+from pathlib import Path
+
 import pytest
 
 from repro import units
-from repro.analysis.site import render_markdown_report
+from repro.analysis.site import (
+    assemble_page,
+    render_bandwidth_section,
+    render_markdown_report,
+)
 from repro.core.experiment import ExperimentResult
 from repro.core.results import ResultStore
+from repro.service.site import SiteRenderer, bandwidth_tag
 
 BW = units.mbps(8)
+BW50 = units.mbps(50)
+
+GOLDEN = Path(__file__).parent / "data" / "golden_site_8mbps.md"
 
 
-def synth(contender, incumbent, share_c, share_i, seed=0):
+def synth(contender, incumbent, share_c, share_i, seed=0, bw=BW):
     ids = [contender, incumbent]
     return ExperimentResult(
         contender_id=ids[0],
         incumbent_id=ids[1],
-        bandwidth_bps=BW,
+        bandwidth_bps=bw,
         buffer_packets=128,
         seed=seed,
         duration_usec=units.seconds(60),
@@ -60,3 +70,70 @@ class TestMarkdownReport:
         page = render_markdown_report(store, ["bully", "meek", "peer"], [BW])
         assert "```" in page
         assert "rows = contender" in page
+
+    def test_matches_golden_fixture(self, store):
+        """The fixed-seed store renders byte-identically to the committed
+        golden page; a diff here means the site format changed."""
+        page = render_markdown_report(store, ["bully", "meek", "peer"], [BW])
+        assert page + "\n" == GOLDEN.read_text()
+
+    def test_assembled_sections_equal_one_shot_render(self, store):
+        """The incremental renderer's contract: stitching per-bandwidth
+        sections reproduces the one-shot page byte for byte."""
+        ids = ["bully", "meek", "peer"]
+        sections = [render_bandwidth_section(store, ids, BW)]
+        assert assemble_page(sections) == render_markdown_report(
+            store, ids, [BW]
+        )
+
+
+class TestIncrementalSite:
+    def test_untouched_bandwidth_section_is_byte_identical(
+        self, store, tmp_path
+    ):
+        """Ingesting data at one bandwidth leaves the other bandwidth's
+        section file untouched, byte for byte."""
+        renderer = SiteRenderer(tmp_path / "site")
+        renderer.regenerate(store, None)
+        path_8 = (
+            renderer.sections_dir / f"bw-{bandwidth_tag(BW)}.md"
+        )
+        before = path_8.read_bytes()
+        before_mtime = path_8.stat().st_mtime_ns
+
+        # New data lands at 50 Mbps only.
+        for seed in range(3):
+            store.add(synth("bully", "meek", 1.7, 0.3, seed, bw=BW50))
+        changed = renderer.regenerate(store, changed_bandwidths=[BW50])
+        assert changed == [BW50]
+        assert path_8.read_bytes() == before
+        assert path_8.stat().st_mtime_ns == before_mtime
+        assert (
+            renderer.sections_dir / f"bw-{bandwidth_tag(BW50)}.md"
+        ).exists()
+        assert "## 50 Mbps bottleneck" in renderer.index_path.read_text()
+
+    def test_incremental_index_matches_full_render(self, store, tmp_path):
+        """After incremental updates, index.md equals the one-shot render
+        over the same store."""
+        renderer = SiteRenderer(tmp_path / "site")
+        renderer.regenerate(store, None)
+        for seed in range(3):
+            store.add(synth("bully", "peer", 1.6, 0.4, seed, bw=BW50))
+        renderer.regenerate(store, changed_bandwidths=[BW50])
+        ids_8 = ["bully", "meek", "peer"]
+        ids_50 = ["bully", "peer"]
+        expected = assemble_page(
+            [
+                render_bandwidth_section(store, ids_8, BW),
+                render_bandwidth_section(store, ids_50, BW50),
+            ]
+        )
+        assert renderer.index_path.read_text() == expected + "\n"
+
+    def test_unchanged_regenerate_is_a_no_op(self, store, tmp_path):
+        renderer = SiteRenderer(tmp_path / "site")
+        renderer.regenerate(store, None)
+        index_before = renderer.index_path.read_bytes()
+        assert renderer.regenerate(store, None) == []
+        assert renderer.index_path.read_bytes() == index_before

@@ -102,11 +102,33 @@ class TestSubmissionPortal:
         spec = portal.catalog.get(submission.service_id)
         assert spec.category == "file-transfer"
 
-    def test_duplicate_url_rejected(self):
+    def test_resubmission_is_idempotent(self):
+        """Submitting a registered URL returns the original acceptance."""
+        portal = self.make_portal()
+        first = portal.submit("https://example.org", DEFAULT_ACCESS_CODES[0])
+        again = portal.submit("https://example.org", DEFAULT_ACCESS_CODES[1])
+        assert again is first
+        assert len(portal.submissions) == 1
+        # A different path on the same host is the same service id, so it
+        # is also a re-submission, not a collision.
+        same_host = portal.submit(
+            "https://example.org/other", DEFAULT_ACCESS_CODES[0]
+        )
+        assert same_host is first
+
+    def test_catalog_collision_without_prior_submission_rejected(self):
+        """An id already in the catalog that this portal never accepted
+        is a genuine collision, not a re-submission."""
         portal = self.make_portal()
         portal.submit("https://example.org", DEFAULT_ACCESS_CODES[0])
+        fresh = SubmissionPortal(portal.catalog)
         with pytest.raises(SubmissionError):
-            portal.submit("https://example.org", DEFAULT_ACCESS_CODES[0])
+            fresh.submit("https://example.org", DEFAULT_ACCESS_CODES[0])
+
+    def test_empty_host_url_rejected(self):
+        portal = self.make_portal()
+        with pytest.raises(SubmissionError, match="empty host"):
+            portal.submit("https:///just-a-path", DEFAULT_ACCESS_CODES[0])
 
     def test_submitted_service_is_runnable(self):
         """The whole point: a submission can be scheduled like any other
