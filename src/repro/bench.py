@@ -47,6 +47,7 @@ from .config import (
     moderately_constrained,
 )
 from .core.experiment import run_trial_artifacts
+from .netsim.engine import build_engine, engine_kind_from_env
 from .obs import tracing
 from .obs.tracing import percentile
 from .services.catalog import default_catalog
@@ -77,6 +78,12 @@ SCENARIOS = {
         ("iperf_bbr", "iperf_cubic"),
     ),
 }
+
+#: Pure scheduler throughput, no transport: tracked separately from the
+#: trial scenarios so engine-core changes are visible undiluted (in a
+#: full trial the scheduler is only ~15-20% of wall time, so even a 2x
+#: faster core moves trial numbers by single-digit percents).
+ENGINE_MICROBENCH = "engine-microbench"
 
 FULL_DURATION_SEC = 15.0
 FULL_REPEATS = 3
@@ -116,6 +123,63 @@ def _run_once(
     return {"wall_sec": wall, "packets": packets}
 
 
+def _run_engine_microbench(duration_sec: float, seed: int) -> Dict[str, float]:
+    """One timed pure-scheduler run; returns wall time and event count.
+
+    Mirrors the measured per-packet event mix of a 50 Mbps pair trial:
+    self-clocking chains whose delays cycle through three serialization
+    steps (240 us) and one path hop (24.4 ms), a lazy Timer rearmed on
+    every event (the RTO pattern), the 4-tuple ``(callback, arg)`` form
+    on half the events, and enough concurrent chains to hold the
+    scheduler at a realistic high-water mark (~300 pending).  No
+    transport, no CCA: this isolates schedule+dispatch.
+    """
+    engine = build_engine()
+    chains = 64
+    delays = (240, 240, 240, 24_400)
+
+    def make_chain(phase_seed: int):
+        timer = engine.timer(lambda: None)
+        i = 0
+        x = phase_seed | 1
+
+        def step() -> None:
+            nonlocal i, x
+            # Deterministic per-chain LCG jitter (0-255 us), standing in
+            # for the testbed's ACK dither: without it every chain hops
+            # in lockstep, a burst pattern no real trial produces.  The
+            # small multiplier keeps products in CPython's fast int
+            # range so the driver stays cheap relative to the engine.
+            x = (x * 75 + 74) & 0xFFFF
+            timer.schedule_at(engine.now + 1_000_000)
+            if i & 1:
+                engine.schedule(delays[i & 3] + (x & 0xFF), step_arg, None)
+            else:
+                engine.schedule(delays[i & 3] + (x & 0xFF), step)
+            i += 1
+
+        def step_arg(_arg) -> None:
+            step()
+
+        return step
+
+    until_usec = int(duration_sec * 1e6)
+    start = time.perf_counter()
+    cycle_usec = sum(delays)
+    for index in range(chains):
+        # Spread chain phases across one full delay cycle, as the ACK
+        # clock does for real flows after a few RTTs of dither.
+        engine.schedule(
+            (seed + index * 393) % cycle_usec, make_chain(seed + index)
+        )
+    engine.run(until_usec)
+    wall = time.perf_counter() - start
+    # The chain structure is deterministic for a given duration/seed, so
+    # the scheduled-event counter doubles as the work count ("packets"
+    # keeps the trial scenarios' schema so compare() can gate this row).
+    return {"wall_sec": wall, "packets": engine.events_scheduled}
+
+
 def run_benchmark(
     quick: bool = False,
     duration_sec: Optional[float] = None,
@@ -128,7 +192,11 @@ def run_benchmark(
         duration_sec = QUICK_DURATION_SEC if quick else FULL_DURATION_SEC
     if repeats is None:
         repeats = QUICK_REPEATS if quick else FULL_REPEATS
-    names = scenarios if scenarios is not None else list(SCENARIOS)
+    names = (
+        scenarios
+        if scenarios is not None
+        else list(SCENARIOS) + [ENGINE_MICROBENCH]
+    )
     out: Dict = {
         "schema": 1,
         "suite": "netsim-hotpath",
@@ -136,10 +204,39 @@ def run_benchmark(
         "duration_sim_sec": duration_sec,
         "repeats": repeats,
         "seed": seed,
+        "engine": engine_kind_from_env(),
         "python": platform.python_version(),
         "scenarios": {},
     }
     for name in names:
+        if name == ENGINE_MICROBENCH:
+            walls = []
+            best = None
+            for repeat in range(repeats):
+                with tracing.span(
+                    "bench.scenario", scenario=name, repeat=repeat
+                ) as bench_span:
+                    sample = _run_engine_microbench(duration_sec, seed)
+                bench_span.set(packets=sample["packets"])
+                walls.append(sample["wall_sec"])
+                if best is None or sample["wall_sec"] < best["wall_sec"]:
+                    best = sample
+            walls.sort()
+            wall_p50 = percentile(walls, 0.5)
+            # "packets" here are dispatched events; keeping the trial
+            # scenarios' field names lets compare() gate this row too.
+            out["scenarios"][name] = {
+                "kind": "engine-core",
+                "engine": engine_kind_from_env(),
+                "packets": best["packets"],
+                "wall_sec": round(best["wall_sec"], 4),
+                "wall_sec_p50": round(wall_p50, 4),
+                "wall_sec_p95": round(percentile(walls, 0.95), 4),
+                "pkts_per_sec": round(best["packets"] / best["wall_sec"], 1),
+                "pkts_per_sec_p50": round(best["packets"] / wall_p50, 1),
+                "sim_sec_per_wall_sec": round(duration_sec / best["wall_sec"], 2),
+            }
+            continue
         network_factory, trace, pair = SCENARIOS[name]
         network = network_factory()
         best: Optional[Dict[str, float]] = None

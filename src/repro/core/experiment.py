@@ -182,6 +182,7 @@ def run_trial_artifacts(
     env: Optional[ClientEnvironment] = None,
     trace_packets: bool = False,
     cap_overrides: Optional[Sequence[Optional[float]]] = None,
+    engine=None,
 ) -> "tuple[ExperimentResult, Testbed]":
     """The single trial core: N services contend once through the testbed.
 
@@ -203,7 +204,9 @@ def run_trial_artifacts(
     caps_in = list(cap_overrides) if cap_overrides is not None else [None] * len(specs)
     if len(caps_in) != len(specs):
         raise ValueError("cap_overrides must match specs")
-    testbed = Testbed(network, seed=seed, trace_packets=trace_packets)
+    testbed = Testbed(
+        network, seed=seed, trace_packets=trace_packets, engine=engine
+    )
     seen: Dict[str, int] = {}
     services = []
     for index, spec in enumerate(specs):

@@ -26,9 +26,12 @@ class Testbed:
         network: NetworkConfig,
         seed: int = 0,
         trace_packets: bool = False,
+        engine=None,
     ) -> None:
         self.network = network
-        self.bell = Dumbbell(network, seed=seed, trace_packets=trace_packets)
+        self.bell = Dumbbell(
+            network, seed=seed, trace_packets=trace_packets, engine=engine
+        )
         self.services: List[Service] = []
         self._window_start_usec: Optional[int] = None
         self._window_end_usec: Optional[int] = None

@@ -6,7 +6,14 @@ send packets through a shared, rate-limited bottleneck link with a
 drop-tail FIFO queue, with per-service delay insertion to normalise RTTs.
 """
 
-from .engine import Engine
+from .engine import (
+    CalendarEngine,
+    Engine,
+    HeapEngine,
+    Timer,
+    build_engine,
+    engine_kind_from_env,
+)
 from .packet import Packet
 from .queue import DropTailQueue
 from .link import BottleneckLink
@@ -14,7 +21,12 @@ from .topology import Dumbbell, Path
 from .trace import PacketTrace, QueueLog
 
 __all__ = [
+    "CalendarEngine",
     "Engine",
+    "HeapEngine",
+    "Timer",
+    "build_engine",
+    "engine_kind_from_env",
     "Packet",
     "DropTailQueue",
     "BottleneckLink",

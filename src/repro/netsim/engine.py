@@ -1,9 +1,22 @@
 """Discrete-event engine with an integer-microsecond clock.
 
-Events are ``(time, sequence, callback, arg)`` 4-tuples in a binary heap;
-the sequence number makes ordering of same-time events deterministic (FIFO
-in scheduling order), which keeps whole simulations bit-reproducible for a
+Events are ``(time, sequence, callback, arg)`` 4-tuples; the sequence
+number makes ordering of same-time events deterministic (FIFO in
+scheduling order), which keeps whole simulations bit-reproducible for a
 given seed.
+
+Two interchangeable scheduler cores implement the same public API and the
+same total dispatch order ``(time, seq)``:
+
+* :class:`HeapEngine` - the original binary heap (``heapq``).  Kept as
+  the dispatch-order oracle: simple, obviously correct, O(log n) per op.
+* :class:`CalendarEngine` - a calendar queue (rotating array of time
+  buckets, per-day sorted dispatch, overflow list for far-future events,
+  adaptive bucket width).  O(1) amortized per op; the default.
+
+:func:`build_engine` selects between them (``REPRO_ENGINE=heap|calendar``)
+and is the seam every simulation construction path goes through; see
+DESIGN.md ("Event scheduler").
 
 The 4-tuple form exists for the simulator hot path: schedulers pass a
 pre-existing bound method plus its argument (typically a
@@ -16,28 +29,39 @@ loop; see DESIGN.md ("simulator hot path").
 from __future__ import annotations
 
 import heapq
+import os
+from bisect import insort
+from math import log2
 from typing import Any, Callable, List, Optional, Tuple
 
 #: Sentinel meaning "callback takes no argument".  Using an identity-checked
 #: sentinel (rather than ``None``) lets callers schedule ``fn(None)``.
 _NO_ARG = object()
 
+#: Public alias for callers (e.g. ``Service.schedule``) that forward the
+#: optional-arg form without wanting to import an underscored name.
+NO_ARG = _NO_ARG
 
-class Engine:
-    """A minimal, fast event loop.
 
-    The hot path (one bottleneck-packet lifetime) schedules roughly three
+class HeapEngine:
+    """The original binary-heap event loop (dispatch-order oracle).
+
+    The hot path (one bottleneck-packet lifetime) schedules roughly four
     events, so this class is deliberately small: a heap, a clock, and a
     monotone sequence counter.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running")
+    __slots__ = ("now", "_heap", "_seq", "_running", "_stale")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: List[Tuple[int, int, Callable, Any]] = []
         self._seq = 0
         self._running = False
+        #: In-structure events that are no longer dispatchable work: a
+        #: lazily-cancelled Timer's wakeup stays in the heap as a no-op
+        #: until it drains.  ``pending()`` subtracts these.
+        self._stale = 0
 
     def schedule(
         self, delay_usec: int, callback: Callable, arg: Any = _NO_ARG
@@ -101,8 +125,15 @@ class Engine:
         return Timer(self, callback)
 
     def pending(self) -> int:
-        """Number of scheduled events not yet run."""
-        return len(self._heap)
+        """Number of scheduled events that still represent dispatchable work.
+
+        Lazily-cancelled :class:`Timer` wakeups sit in the heap until they
+        drain as no-ops; they are *not* pending work and are excluded here
+        (each live Timer contributes exactly one event - the
+        one-event-per-Timer invariant - and that event counts only while
+        the timer is armed).
+        """
+        return len(self._heap) - self._stale
 
     @property
     def events_scheduled(self) -> int:
@@ -115,16 +146,513 @@ class Engine:
         return self._seq
 
 
+class CalendarEngine:
+    """Calendar-queue event loop: O(1) amortized schedule and dispatch.
+
+    Layout: ``nbuckets`` (power of two) rotating time buckets of width
+    ``1 << shift`` microseconds each - one bucket is one "day", a full
+    sweep of the array one "year".  An event lands in the bucket of its
+    day when its time is inside the current year (``when < horizon``);
+    far-future events (idle RTO deadlines) wait in a small overflow heap
+    and are re-bucketed as the horizon advances day by day, so each
+    bucket only ever holds events due on its next visit.
+
+    Dispatch sorts the day's bucket ascending once and walks it by index,
+    so per-event work is O(1) with no heap sift; the sort is Timsort over
+    the handful of near-sorted per-day events.  Sorting by the full
+    ``(time, seq, ...)`` tuple is exactly the heap's comparison key,
+    which is why per-day FIFO insertion plus one sort reproduces the
+    heap's dispatch order - including the seq tie-break for same-time
+    events - bit for bit.  Callbacks that schedule back into the
+    *currently dispatching* day (pacing wakeups and ACK-clocked sends
+    commonly do) ``bisect.insort`` into the live bucket's unconsumed
+    tail, which keeps the order exact at C speed.
+
+    The bucket width adapts to the observed inter-event spacing: once per
+    rotation the engine re-derives the width that puts
+    ``~TARGET_PER_DAY`` events in a day, so both the 8 Mbps regime
+    (sparse, millisecond spacing) and the 50 Mbps regime (dense, hundreds
+    of events per millisecond) stay O(1) amortized.  Resizing rebuckets
+    in O(pending) and cannot change dispatch order, which depends only on
+    ``(time, seq)``.
+    """
+
+    __slots__ = (
+        "now",
+        "_seq",
+        "_running",
+        "_stale",
+        "_shift",
+        "_nbuckets",
+        "_mask",
+        "_buckets",
+        "_overflow",
+        "_day",
+        "_day_end",
+        "_horizon",
+        "_active_i",
+        "_rotation_dispatched",
+        "_rotation_busy_days",
+        "_suggest_dir",
+        "_resizes",
+    )
+
+    #: Bucket-count exponent: 256 buckets balances rotation bookkeeping
+    #: against horizon span (at the default width, a 65 ms year).
+    NBUCKETS_LOG2 = 8
+    #: Initial bucket width exponent: 256 us, sized for the 50 Mbps
+    #: regime (~3-4 events per day); the adaptive resize takes it from
+    #: there for other regimes.
+    INITIAL_SHIFT = 8
+    #: Bounds for the adaptive width (16 us .. 65.5 ms).
+    MIN_SHIFT = 4
+    MAX_SHIFT = 16
+    #: Events per *busy* day the resize policy aims for.  Small enough
+    #: that the per-day sort stays trivial, large enough to amortize the
+    #: per-day bookkeeping (bucket fetch, horizon advance, overflow probe).
+    TARGET_PER_DAY = 4
+    #: A day opening with this many events means the bucket width is at
+    #: least ~4 shift steps too wide (e.g. a quiet-period upshift met a
+    #: traffic burst): narrow immediately at day close rather than
+    #: waiting out the rest of a - now very long - rotation.
+    OVERFULL_PER_DAY = 64
+
+    def __init__(self, shift: Optional[int] = None) -> None:
+        self.now: int = 0
+        self._seq = 0
+        self._running = False
+        self._stale = 0
+        self._shift = self.INITIAL_SHIFT if shift is None else shift
+        self._nbuckets = 1 << self.NBUCKETS_LOG2
+        self._mask = self._nbuckets - 1
+        self._buckets: List[List[Tuple[int, int, Callable, Any]]] = [
+            [] for _ in range(self._nbuckets)
+        ]
+        # Far-future events, a (time, seq, cb, arg) heap.
+        self._overflow: List[Tuple[int, int, Callable, Any]] = []
+        self._day = 0
+        # End of the day currently being dispatched, or 0 when the engine
+        # is not inside a day (0 can never be a live day end because
+        # day ends are strictly positive).  schedule() uses this to
+        # divert same-day inserts into the live, sorted bucket.
+        self._day_end = 0
+        self._horizon = self._nbuckets << self._shift
+        # Number of already-dispatched events still physically sitting at
+        # the head of the live day bucket (consumed prefix); 0 whenever
+        # the engine is not inside a day.
+        self._active_i = 0
+        self._rotation_dispatched = 0
+        self._rotation_busy_days = 0
+        # Pending +/-1 resize suggestion awaiting a second consecutive
+        # rotation that agrees (single-step moves are damped; see
+        # _maybe_resize).
+        self._suggest_dir = 0
+        #: Resize count, exposed for tests/instrumentation.
+        self._resizes = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self, delay_usec: int, callback: Callable, arg: Any = _NO_ARG
+    ) -> None:
+        """Run ``callback`` ``delay_usec`` microseconds from now.
+
+        When ``arg`` is given the event dispatches as ``callback(arg)``;
+        pass a bound method plus its operand to avoid allocating a closure
+        per event on hot paths.
+        """
+        if delay_usec < 0:
+            raise ValueError("cannot schedule into the past")
+        self._seq = seq = self._seq + 1
+        when = self.now + delay_usec
+        if when < self._day_end:
+            # Into the live, ascending-sorted day bucket.  The fresh
+            # event carries the largest seq so far, so among equal times
+            # insort places it after every already-scheduled event -
+            # exactly the heap's FIFO tie-break - and the consumed prefix
+            # compares smaller than any schedulable event, so no ``lo``
+            # bound is needed.
+            insort(
+                self._buckets[self._day & self._mask],
+                (when, seq, callback, arg),
+            )
+        elif when < self._horizon:
+            self._buckets[(when >> self._shift) & self._mask].append(
+                (when, seq, callback, arg)
+            )
+        else:
+            heapq.heappush(self._overflow, (when, seq, callback, arg))
+
+    def schedule_at(
+        self, when_usec: int, callback: Callable, arg: Any = _NO_ARG
+    ) -> None:
+        """Run ``callback`` at absolute time ``when_usec``."""
+        if when_usec < self.now:
+            raise ValueError("cannot schedule into the past")
+        self._seq = seq = self._seq + 1
+        if when_usec < self._day_end:
+            # See schedule(): ordered insert into the live day bucket.
+            insort(
+                self._buckets[self._day & self._mask],
+                (when_usec, seq, callback, arg),
+            )
+        elif when_usec < self._horizon:
+            self._buckets[(when_usec >> self._shift) & self._mask].append(
+                (when_usec, seq, callback, arg)
+            )
+        else:
+            heapq.heappush(self._overflow, (when_usec, seq, callback, arg))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def run(self, until_usec: Optional[int] = None) -> None:
+        """Process events until none remain or the clock passes ``until_usec``.
+
+        When ``until_usec`` is given the clock is left exactly there, so
+        consecutive ``run`` calls resume seamlessly - including resuming
+        exactly at a bucket boundary.
+        """
+        if self._running:
+            raise RuntimeError("engine.run is not reentrant")
+        self._running = True
+        try:
+            self._run(until_usec)
+        finally:
+            self._running = False
+            self._day_end = 0
+            self._active_i = 0
+        if until_usec is not None and self.now < until_usec:
+            self.now = until_usec
+
+    def _run(self, until_usec: Optional[int]) -> None:
+        # ``day``/``horizon`` are hoisted into locals and written back to
+        # the instance only at sync points (day open, every return, and
+        # overflow-geometry changes).  That is sound because user code -
+        # the only reader of self._day/_horizon, via schedule() - can
+        # only run inside a dispatch callback, i.e. after a day-open
+        # sync; the empty-day sweep is pure engine code.
+        no_arg = _NO_ARG
+        buckets = self._buckets
+        mask = self._mask
+        nbuckets = self._nbuckets
+        shift = self._shift
+        width = 1 << shift
+        overflow = self._overflow
+        pop_overflow = heapq.heappop
+        overfull = self.OVERFULL_PER_DAY
+        # The clock may have been advanced past the cursor by an idle
+        # run(until); in that case every earlier day is known empty.
+        day = self._day
+        clock_day = self.now >> shift
+        if clock_day > day:
+            day = clock_day
+        horizon = (day + nbuckets) << shift
+        while overflow and overflow[0][0] < horizon:
+            event = pop_overflow(overflow)
+            buckets[(event[0] >> shift) & mask].append(event)
+        # Days strictly before this never need a per-event until check.
+        boundary_day = -1 if until_usec is None else until_usec >> shift
+        empty_days = 0
+        while True:
+            lst = buckets[day & mask]
+            if lst:
+                empty_days = 0
+                lst.sort()
+                # Open the day: sync the cursor and divert same-day
+                # inserts into lst's unconsumed tail via _day_end.
+                self._day = day
+                self._horizon = horizon
+                self._day_end = (day + 1) << shift
+                if day != boundary_day:
+                    # CPython list iteration is index-based, so events
+                    # insorted into the unconsumed tail by callbacks are
+                    # picked up by this same loop (an insort can never
+                    # land before the cursor: fresh events carry the max
+                    # seq and a time >= now).  No per-event bookkeeping:
+                    # this is the hot loop.
+                    for when, _seq, callback, arg in lst:
+                        self.now = when
+                        if arg is no_arg:
+                            callback()
+                        else:
+                            callback(arg)
+                    self._day_end = 0
+                    n = len(lst)
+                    self._rotation_dispatched += n
+                    self._rotation_busy_days += 1
+                    lst.clear()
+                    if n >= overfull:
+                        # This width crams >= ~4 shift steps too many
+                        # events into one day: narrow now, then revisit
+                        # the (re-derived) current day.
+                        self._force_narrow(n)
+                        shift = self._shift
+                        width = 1 << shift
+                        day = self._day
+                        horizon = self._horizon
+                        boundary_day = (
+                            -1 if until_usec is None else until_usec >> shift
+                        )
+                        continue
+                else:
+                    # The run(until) boundary day (at most one per run
+                    # call): walk by index so the consumed prefix is
+                    # known if the until check stops us mid-bucket.
+                    i = 0
+                    while i < len(lst):
+                        event = lst[i]
+                        when = event[0]
+                        if when > until_usec:
+                            break
+                        i += 1
+                        self._active_i = i
+                        self.now = when
+                        arg = event[3]
+                        if arg is no_arg:
+                            event[2]()
+                        else:
+                            event[2](arg)
+                    self._day_end = 0
+                    self._rotation_dispatched += i
+                    if i:
+                        self._rotation_busy_days += 1
+                    self._active_i = 0
+                    if i < len(lst):
+                        # Partial boundary day: drop the consumed prefix,
+                        # park the cursor here for the next run().
+                        del lst[:i]
+                        return
+                    lst.clear()
+            else:
+                empty_days += 1
+            if day == boundary_day:
+                self._day = day
+                self._horizon = horizon
+                return
+            # Advance one day: the just-vacated bucket becomes the far
+            # edge of the new year, so overflow events that now fit
+            # rebucket into it (amortized O(1): each day uncovers one
+            # bucket-width of new horizon).
+            day += 1
+            horizon += width
+            if empty_days <= nbuckets:
+                if overflow and overflow[0][0] < horizon:
+                    while overflow and overflow[0][0] < horizon:
+                        event = pop_overflow(overflow)
+                        buckets[(event[0] >> shift) & mask].append(event)
+                    empty_days = 0
+            elif not overflow:
+                # A full silent rotation with nothing waiting anywhere:
+                # the wheel is provably empty.
+                self._day = day
+                self._horizon = horizon
+                return
+            else:
+                # Wheel empty but far-future work exists: jump the cursor
+                # straight to the overflow minimum's day (or stop at the
+                # boundary if that comes first).
+                target_day = overflow[0][0] >> shift
+                if until_usec is not None and target_day > boundary_day:
+                    self._day = day
+                    self._horizon = horizon
+                    return
+                day = target_day
+                horizon = (day + nbuckets) << shift
+                while overflow and overflow[0][0] < horizon:
+                    event = pop_overflow(overflow)
+                    buckets[(event[0] >> shift) & mask].append(event)
+                empty_days = 0
+            if (day & mask) == 0:
+                self._day = day
+                self._horizon = horizon
+                if self._maybe_resize():
+                    # Bucket geometry changed: reload every hoisted local.
+                    shift = self._shift
+                    width = 1 << shift
+                    day = self._day
+                    horizon = self._horizon
+                    boundary_day = (
+                        -1 if until_usec is None else until_usec >> shift
+                    )
+                    empty_days = 0
+
+    # ------------------------------------------------------------------
+    # Adaptive bucket width
+    # ------------------------------------------------------------------
+
+    def _maybe_resize(self) -> bool:
+        """Once-per-rotation width adaptation; returns True on resize.
+
+        Keyed off the rotation's mean *busy-day* occupancy: the ideal
+        width puts ``TARGET_PER_DAY`` events in each non-empty day, so
+        the suggested move is ``round(log2(target / mean_busy))``.
+        Counting only busy days makes the estimate immune to idle gaps
+        (BBR's PROBE_RTT quiescence, pre-start jitter): a mostly-idle
+        rotation whose busy days are already at target suggests no move,
+        where a raw span-over-dispatched spacing estimate would balloon
+        the width and then meet the next traffic burst 4+ shifts too
+        wide.  Single-step moves additionally need two consecutive
+        rotations to agree (``_suggest_dir``), damping boundary
+        ping-pong; multi-step moves apply immediately.
+        """
+        dispatched = self._rotation_dispatched
+        busy_days = self._rotation_busy_days
+        self._rotation_dispatched = 0
+        self._rotation_busy_days = 0
+        if not dispatched:
+            self._suggest_dir = 0
+            return False
+        delta = round(log2(self.TARGET_PER_DAY * busy_days / dispatched))
+        if delta == 0:
+            self._suggest_dir = 0
+            return False
+        if -2 < delta < 2 and delta != self._suggest_dir:
+            self._suggest_dir = delta
+            return False
+        self._suggest_dir = 0
+        new_shift = self._shift + delta
+        if new_shift < self.MIN_SHIFT:
+            new_shift = self.MIN_SHIFT
+        elif new_shift > self.MAX_SHIFT:
+            new_shift = self.MAX_SHIFT
+        if new_shift == self._shift:
+            return False
+        self._rebucket(new_shift)
+        return True
+
+    def _force_narrow(self, day_count: int) -> None:
+        """Immediate downshift after an overfull day (see OVERFULL_PER_DAY).
+
+        Sized so the observed day would have held ``~TARGET_PER_DAY``
+        events: ``day_count / TARGET_PER_DAY`` is the over-width factor,
+        its log2 the number of shift steps to drop.
+        """
+        delta = (day_count // self.TARGET_PER_DAY).bit_length() - 1
+        new_shift = self._shift - delta
+        if new_shift < self.MIN_SHIFT:
+            new_shift = self.MIN_SHIFT
+        self._suggest_dir = 0
+        self._rotation_dispatched = 0
+        self._rotation_busy_days = 0
+        if new_shift != self._shift:
+            self._rebucket(new_shift)
+
+    def _rebucket(self, new_shift: int) -> None:
+        """Redistribute every pending event under a new bucket width.
+
+        O(pending).  Dispatch order is unaffected: placement never feeds
+        ordering, only ``(time, seq)`` does.
+        """
+        events = [event for bucket in self._buckets for event in bucket]
+        events.extend(self._overflow)
+        for bucket in self._buckets:
+            bucket.clear()
+        # Mutate in place: _run holds the overflow list in a local, so
+        # rebinding self._overflow here would leave that alias pointing
+        # at a stale list whose events were just redistributed (they
+        # would drain into buckets a second time - double dispatch).
+        overflow = self._overflow
+        overflow.clear()
+        self._shift = new_shift
+        day = self.now >> new_shift
+        self._day = day
+        self._horizon = horizon = (day + self._nbuckets) << new_shift
+        buckets = self._buckets
+        mask = self._mask
+        for event in events:
+            if event[0] < horizon:
+                buckets[(event[0] >> new_shift) & mask].append(event)
+            else:
+                overflow.append(event)
+        heapq.heapify(overflow)
+        self._resizes += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def timer(self, callback: Callable[[], None]) -> "Timer":
+        """A lazy-cancellation timer handle firing ``callback`` on expiry."""
+        return Timer(self, callback)
+
+    def pending(self) -> int:
+        """Number of scheduled events that still represent dispatchable work.
+
+        Computed on demand (this is introspection, not the hot path) as
+        everything still sitting in the wheel plus the overflow, minus
+        lazily-cancelled Timer wakeups - the same accounting as
+        :meth:`HeapEngine.pending`.  Exact whenever called outside a
+        dispatch callback (every caller in the tree).  From *inside* a
+        callback the hot loop leaves consumed events in the live bucket
+        until the day closes, so the count can transiently include up to
+        one day's already-dispatched events; the boundary day of a
+        ``run(until)`` tracks its consumed prefix (``_active_i``) so the
+        count is exact again the moment ``run`` returns.
+        """
+        live = sum(map(len, self._buckets)) + len(self._overflow)
+        return live - self._active_i - self._stale
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the monotone sequence counter)."""
+        return self._seq
+
+
+#: Engine kinds selectable via ``REPRO_ENGINE`` / :func:`build_engine`.
+ENGINE_KINDS = {
+    "heap": HeapEngine,
+    "calendar": CalendarEngine,
+}
+
+#: The default scheduler core.
+DEFAULT_ENGINE_KIND = "calendar"
+
+
+def engine_kind_from_env() -> str:
+    """The engine kind selected by ``REPRO_ENGINE`` (default calendar)."""
+    kind = os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE_KIND).strip().lower()
+    if kind not in ENGINE_KINDS:
+        raise ValueError(
+            f"REPRO_ENGINE={kind!r}: expected one of {sorted(ENGINE_KINDS)}"
+        )
+    return kind
+
+
+def build_engine(kind: Optional[str] = None):
+    """Construct an event engine.
+
+    ``kind`` is ``"heap"`` or ``"calendar"``; when omitted the
+    ``REPRO_ENGINE`` environment variable decides (default
+    ``"calendar"``).  Every simulation construction path
+    (:class:`~repro.netsim.topology.Dumbbell`, and through it
+    ``run_trial_artifacts``) funnels through here, so one env var flips
+    the whole system between the calendar queue and the heap oracle.
+    """
+    return ENGINE_KINDS[kind or engine_kind_from_env()]()
+
+
+#: Backwards-compatible name: the default engine class.  Code that needs
+#: runtime selection should call :func:`build_engine` instead.
+Engine = CalendarEngine
+
+
 class Timer:
     """A rearmable deadline with lazy cancellation.
 
     Retransmission-style timers move their deadline on nearly every ACK.
-    Cancelling/re-pushing a heap entry each time would churn the heap once
-    per packet, so instead the timer keeps **at most one** event in the
-    heap: rearming just updates :attr:`deadline`, and when the (stale)
-    heap event fires early it re-schedules itself at the current deadline
-    instead of invoking the callback.  ``cancel()`` simply clears the
-    deadline; a pending heap event then fires as a no-op.
+    Cancelling/re-pushing a scheduler entry each time would churn the
+    scheduler once per packet, so instead the timer keeps **at most one**
+    event in the engine (the one-event-per-Timer invariant): rearming
+    just updates :attr:`deadline`, and when the (stale) event fires early
+    it re-schedules itself at the current deadline instead of invoking
+    the callback.  ``cancel()`` simply clears the deadline; a pending
+    event then fires as a no-op.  The engine's ``_stale`` counter tracks
+    exactly these no-op-to-be events so ``pending()`` can report
+    dispatchable work rather than raw structure occupancy.
 
     Rearming never pushes a second event, even when the new deadline is
     *earlier* than the pending wakeup: the timer notices the moved
@@ -132,16 +660,19 @@ class Timer:
     timer wheel granularity absorbs small backward moves.  (RTO deadlines
     virtually always move forward; keeping this semantic also preserves
     bit-identical schedules with the pre-handle implementation.)
+
+    Works against either engine kind - it only uses ``schedule_at``,
+    ``now``, and the ``_stale`` counter.
     """
 
     __slots__ = ("_engine", "_callback", "deadline", "_event_at")
 
-    def __init__(self, engine: Engine, callback: Callable[[], None]) -> None:
+    def __init__(self, engine, callback: Callable[[], None]) -> None:
         self._engine = engine
         self._callback = callback
         #: Absolute expiry time, or None when cancelled.
         self.deadline: Optional[int] = None
-        # Time of the single in-heap event, or None when no event pending.
+        # Time of the single in-engine event, or None when no event pending.
         self._event_at: Optional[int] = None
 
     @property
@@ -151,6 +682,10 @@ class Timer:
 
     def schedule_at(self, when_usec: int) -> None:
         """(Re)arm the timer to expire at absolute time ``when_usec``."""
+        if self.deadline is None and self._event_at is not None:
+            # Reviving a cancelled timer whose stale wakeup is still in
+            # the engine: that event becomes live work again.
+            self._engine._stale -= 1
         self.deadline = when_usec
         if self._event_at is None:
             self._event_at = when_usec
@@ -161,17 +696,21 @@ class Timer:
         self.schedule_at(self._engine.now + delay_usec)
 
     def cancel(self) -> None:
-        """Disarm.  A pending heap event (if any) becomes a no-op."""
+        """Disarm.  A pending engine event (if any) becomes a no-op."""
+        if self.deadline is not None and self._event_at is not None:
+            self._engine._stale += 1
         self.deadline = None
 
     def _fire(self) -> None:
         self._event_at = None
         deadline = self.deadline
         if deadline is None:
+            # Cancelled: this wakeup was counted stale; it just drained.
+            self._engine._stale -= 1
             return
         if self._engine.now < deadline:
             # Superseded: the deadline moved while this event sat in the
-            # heap.  Chase the current deadline with one fresh event.
+            # engine.  Chase the current deadline with one fresh event.
             self._event_at = deadline
             self._engine.schedule_at(deadline, self._fire)
             return

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from .. import units
+from ..netsim.engine import NO_ARG
 from ..netsim.topology import Dumbbell, Path
 from ..transport.connection import Connection
 from ..cca.base import CongestionControl
@@ -98,9 +99,16 @@ class Service:
         assert self.bell is not None
         return self.bell.engine
 
-    def schedule(self, delay_usec: int, callback: Callable[[], None]) -> None:
-        """Schedule an application-level event on the testbed engine."""
-        self.engine.schedule(delay_usec, callback)
+    def schedule(self, delay_usec: int, callback: Callable, arg=NO_ARG) -> None:
+        """Schedule an application-level event on the testbed engine.
+
+        ``arg`` is forwarded to the engine's 4-tuple event form: pass a
+        bound method plus its operand instead of wrapping them in a
+        lambda, so periodic application ticks (frame sends, feedback
+        ticks, chunk fetches) allocate no closure per event.
+        """
+        assert self.bell is not None
+        self.bell.engine.schedule(delay_usec, callback, arg)
 
     # ------------------------------------------------------------------
     # Measurement

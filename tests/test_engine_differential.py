@@ -1,0 +1,310 @@
+"""Differential tests: CalendarEngine must match HeapEngine exactly.
+
+The calendar queue is the default scheduler core; the binary heap is kept
+as the dispatch-order oracle.  Three layers of evidence that they are
+interchangeable:
+
+* randomized op programs (hypothesis): arbitrary mixes of schedule /
+  schedule_at / Timer rearm / cancel / nested scheduling from inside
+  callbacks / segmented run(until) must produce the identical dispatch
+  log, clock, and pending() count on both engines - across bucket
+  widths, so rollover/overflow/active-day insertion all get exercised;
+* calendar internals unit tests: bucket rollover, overflow rebucketing,
+  adaptive-resize thresholds, and run(until) resume at an exact bucket
+  boundary;
+* an 11-scenario fixed-seed grid of real trials (every artifact the
+  simulator publishes, hashed) in test_engine_grid.py.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.engine import (
+    NO_ARG,
+    CalendarEngine,
+    HeapEngine,
+    build_engine,
+    engine_kind_from_env,
+)
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential property
+# ---------------------------------------------------------------------------
+
+N_TIMERS = 3
+
+#: One top-level op: (kind, a, b).  Delays/offsets stay small relative to
+#: the narrow bucket widths used below so programs cross many days and
+#: rollovers; a sprinkle of large delays exercises the overflow heap.
+_op = st.one_of(
+    st.tuples(st.just("schedule"), st.integers(0, 400), st.integers(0, 11)),
+    st.tuples(st.just("schedule_far"), st.integers(5_000, 400_000), st.integers(0, 11)),
+    st.tuples(st.just("schedule_at"), st.integers(0, 400), st.integers(0, 11)),
+    st.tuples(st.just("timer_schedule"), st.integers(0, N_TIMERS - 1), st.integers(0, 500)),
+    st.tuples(st.just("timer_rearm"), st.integers(0, N_TIMERS - 1), st.integers(0, 500)),
+    st.tuples(st.just("timer_cancel"), st.integers(0, N_TIMERS - 1), st.just(0)),
+    st.tuples(st.just("run_until"), st.integers(0, 600), st.just(0)),
+)
+
+_program = st.lists(_op, min_size=1, max_size=40)
+
+
+def _drive(make_engine, program):
+    """Run one op program; return the complete observable record.
+
+    Scheduled callbacks log ``(key, now)``; keys divisible by 3 schedule
+    one deterministic child from *inside* dispatch, which on the
+    calendar engine lands in the live day's unconsumed tail (the insort
+    path) whenever the child delay is small.
+    """
+    eng = make_engine()
+    log = []
+    record = []
+
+    def make_cb(key):
+        def cb():
+            log.append((key, eng.now))
+            if key % 3 == 0:
+                eng.schedule((key * 7) % 90, make_cb(key + 1_000))
+
+        return cb
+
+    timers = [eng.timer((lambda i=i: log.append(("timer", i, eng.now)))) for i in range(N_TIMERS)]
+    for kind, a, b in program:
+        if kind in ("schedule", "schedule_far"):
+            eng.schedule(a, make_cb(b))
+        elif kind == "schedule_at":
+            eng.schedule_at(eng.now + a, make_cb(b))
+        elif kind == "timer_schedule":
+            timers[a].schedule(b)
+        elif kind == "timer_rearm":
+            timers[a].schedule_at(eng.now + b)
+        elif kind == "timer_cancel":
+            timers[a].cancel()
+        elif kind == "run_until":
+            eng.run(until_usec=eng.now + a)
+            record.append(("after_run", eng.now, eng.pending(), tuple(log)))
+    eng.run()
+    record.append(("final", eng.now, eng.pending(), eng.events_scheduled, tuple(log)))
+    return record
+
+
+class TestRandomizedDifferential:
+    @settings(max_examples=200, deadline=None)
+    @given(program=_program, shift=st.integers(4, 10))
+    def test_calendar_matches_heap(self, program, shift):
+        # A narrow fixed initial width forces frequent day rollovers and
+        # overflow traffic; the adaptive resize stays enabled on top.
+        heap_record = _drive(HeapEngine, program)
+        cal_record = _drive(lambda: CalendarEngine(shift=shift), program)
+        assert cal_record == heap_record
+
+    @settings(max_examples=50, deadline=None)
+    @given(program=_program)
+    def test_default_width_matches_heap(self, program):
+        assert _drive(CalendarEngine, program) == _drive(HeapEngine, program)
+
+
+# ---------------------------------------------------------------------------
+# Calendar internals
+# ---------------------------------------------------------------------------
+
+class TestBucketRollover:
+    def test_events_beyond_one_rotation_dispatch_in_order(self):
+        # Span several years so the same physical buckets are reused.
+        eng = CalendarEngine(shift=4)  # 16 us days, 4.1 ms years
+        seen = []
+        for delay in (5, 100_000, 20_000, 3, 50_000, 9_999):
+            eng.schedule(delay, lambda d=delay: seen.append((d, eng.now)))
+        eng.run()
+        assert seen == sorted(seen, key=lambda item: item[1])
+        assert [d for d, _ in seen] == [3, 5, 9_999, 20_000, 50_000, 100_000]
+
+    def test_same_day_fifo_matches_heap_tie_break(self):
+        eng = CalendarEngine(shift=8)
+        seen = []
+        for label in "abcd":
+            eng.schedule(100, lambda l=label: seen.append(l))
+        eng.run()
+        assert seen == ["a", "b", "c", "d"]
+
+    def test_callback_scheduling_into_live_day_dispatches_this_day(self):
+        eng = CalendarEngine(shift=8)  # 256 us days
+        seen = []
+        # 10 and 20 land in the day being dispatched; insort must slot
+        # them into the unconsumed tail, in (time, seq) order.
+        def first():
+            seen.append("first")
+            eng.schedule(20, lambda: seen.append("late"))
+            eng.schedule(10, lambda: seen.append("early"))
+
+        eng.schedule(5, first)
+        eng.schedule(200, lambda: seen.append("tail"))
+        eng.run()
+        assert seen == ["first", "early", "late", "tail"]
+
+
+class TestOverflowRebucketing:
+    def test_far_future_event_waits_in_overflow(self):
+        eng = CalendarEngine(shift=4)
+        horizon = eng._horizon
+        eng.schedule(horizon + 123, lambda: None)
+        assert len(eng._overflow) == 1
+        assert eng.pending() == 1
+
+    def test_overflow_drains_as_horizon_advances(self):
+        eng = CalendarEngine(shift=4)
+        seen = []
+        far = eng._horizon + 500
+        eng.schedule_at(far, lambda: seen.append(eng.now))
+        eng.schedule(1, lambda: None)  # keep the wheel non-trivially busy
+        eng.run()
+        assert seen == [far]
+        assert not eng._overflow
+
+    def test_idle_wheel_jumps_to_overflow_minimum(self):
+        eng = CalendarEngine(shift=4)
+        seen = []
+        far = (eng._nbuckets << 4) * 10  # ~10 years out
+        eng.schedule_at(far, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [far]
+
+
+class TestAdaptiveResize:
+    def test_overfull_day_narrows_immediately(self):
+        eng = CalendarEngine(shift=12)  # 4 ms days
+        n = CalendarEngine.OVERFULL_PER_DAY
+        for i in range(n):
+            eng.schedule(10 + i, lambda: None)
+        eng.run()
+        assert eng._resizes >= 1
+        assert eng._shift < 12
+
+    def test_sparse_workload_widens_only_with_confirmation(self):
+        # One event every ~8 days at shift 4: every rotation suggests
+        # widening; the first rotation only records the suggestion, the
+        # second applies it.
+        eng = CalendarEngine(shift=4)
+        for i in range(1, 400):
+            eng.schedule_at(i * 128, lambda: None)
+        eng.run()
+        assert eng._shift > 4
+        assert eng._resizes >= 1
+
+    def test_busy_days_at_target_do_not_resize(self):
+        # TARGET_PER_DAY events per day, everywhere: no move.
+        eng = CalendarEngine(shift=8)
+        per_day = CalendarEngine.TARGET_PER_DAY
+        width = 1 << 8
+        for day in range(600):
+            for k in range(per_day):
+                eng.schedule_at(day * width + 10 + k, lambda: None)
+        eng.run()
+        assert eng._resizes == 0
+        assert eng._shift == 8
+
+    def test_resize_preserves_dispatch_order(self):
+        program = [("schedule", d % 350, d % 12) for d in range(0, 3000, 7)]
+        program += [("run_until", 200, 0), ("schedule_far", 300_000, 3)]
+        assert _drive(lambda: CalendarEngine(shift=4), program) == _drive(
+            HeapEngine, program
+        )
+
+
+class TestRunUntilBoundary:
+    def test_resume_exactly_at_bucket_boundary(self):
+        eng = CalendarEngine(shift=8)  # day width 256
+        seen = []
+        for when in (255, 256, 257, 511, 512):
+            eng.schedule_at(when, lambda w=when: seen.append(w))
+        eng.run(until_usec=256)  # boundary: end of day 0 / start of day 1
+        assert seen == [255, 256]
+        assert eng.now == 256
+        eng.run(until_usec=512)
+        assert seen == [255, 256, 257, 511, 512]
+        eng.run()
+        assert eng.now == 512
+
+    def test_partial_day_resumes_mid_bucket(self):
+        eng = CalendarEngine(shift=8)
+        seen = []
+        for when in (10, 20, 30, 40):
+            eng.schedule_at(when, lambda w=when: seen.append(w))
+        eng.run(until_usec=25)
+        assert seen == [10, 20]
+        assert eng.pending() == 2
+        eng.run()
+        assert seen == [10, 20, 30, 40]
+
+    def test_until_check_only_in_boundary_day(self):
+        # An event scheduled past until but in an earlier bucket must
+        # still not run (guards the boundary_day fast-path logic).
+        eng = CalendarEngine(shift=4)
+        seen = []
+        eng.schedule_at(100, lambda: seen.append(100))
+        eng.schedule_at(5_000, lambda: seen.append(5_000))
+        eng.run(until_usec=4_000)
+        assert seen == [100]
+        assert eng.now == 4_000
+
+
+# ---------------------------------------------------------------------------
+# Engine selection seam
+# ---------------------------------------------------------------------------
+
+class TestBuildEngine:
+    def test_default_is_calendar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert engine_kind_from_env() == "calendar"
+        assert isinstance(build_engine(), CalendarEngine)
+
+    def test_env_selects_heap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert isinstance(build_engine(), HeapEngine)
+
+    def test_explicit_kind_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert isinstance(build_engine("calendar"), CalendarEngine)
+
+    def test_invalid_kind_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fibheap")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            engine_kind_from_env()
+
+
+class TestPendingAccounting:
+    """The one-event-per-Timer invariant feeds pending() on both engines."""
+
+    @pytest.mark.parametrize("make", [HeapEngine, CalendarEngine])
+    def test_cancelled_timer_not_counted(self, make):
+        eng = make()
+        timer = eng.timer(lambda: None)
+        timer.schedule(100)
+        assert eng.pending() == 1
+        timer.cancel()
+        # The wakeup event still sits in the structure, but it is no
+        # longer dispatchable work.
+        assert eng.pending() == 0
+        eng.run()
+        assert eng.pending() == 0
+
+    @pytest.mark.parametrize("make", [HeapEngine, CalendarEngine])
+    def test_cancel_revive_counts_once(self, make):
+        eng = make()
+        timer = eng.timer(lambda: None)
+        timer.schedule(100)
+        timer.cancel()
+        timer.schedule(50)  # revives the in-flight wakeup
+        assert eng.pending() == 1
+
+    @pytest.mark.parametrize("make", [HeapEngine, CalendarEngine])
+    def test_rearm_keeps_single_event(self, make):
+        eng = make()
+        timer = eng.timer(lambda: None)
+        timer.schedule(100)
+        for bump in range(1, 30):
+            timer.schedule_at(100 + bump)
+        assert eng.pending() == 1
+        assert eng.events_scheduled == 1

@@ -1,0 +1,80 @@
+"""11-scenario fixed-seed grid: heap and calendar produce identical bytes.
+
+Each scenario is a complete short trial through the real
+``run_trial_artifacts`` code path, run twice in this process - once per
+engine kind - and every published artifact (experiment report, packet
+trace, queue log, final clock, event count) is serialized and hashed.
+The two hashes must match exactly: the calendar queue's promise is not
+"statistically equivalent", it is the *same simulation*.
+
+The grid spans both Prudentia network settings, trace on/off, self-pairs
+and mixed pairs, loss-based and model-based CCAs, and application
+workloads (video ABR, RTC, web, file transfer) whose timers and
+request/response patterns stress schedule_at, Timer rearm, and the
+far-future overflow path.  Trials are kept short (2 simulated seconds)
+so the whole grid stays in tier-1 time budget.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.config import (
+    ExperimentConfig,
+    highly_constrained,
+    moderately_constrained,
+)
+from repro.core.experiment import run_trial_artifacts
+from repro.netsim.engine import build_engine
+from repro.services.catalog import default_catalog
+
+DURATION_SEC = 2.0
+
+#: name -> (network factory, service ids, seed, trace_packets)
+GRID = {
+    "8mbps-cubic-bbr-trace": (highly_constrained, ("iperf_cubic", "iperf_bbr"), 1, True),
+    "8mbps-cubic-reno": (highly_constrained, ("iperf_cubic", "iperf_reno"), 2, False),
+    "8mbps-bbr-bbr": (highly_constrained, ("iperf_bbr", "iperf_bbr"), 3, False),
+    "8mbps-bbr-x5-cubic": (highly_constrained, ("iperf_bbr_x5", "iperf_cubic"), 4, False),
+    "50mbps-cubic-bbr-trace": (moderately_constrained, ("iperf_cubic", "iperf_bbr"), 1, True),
+    "50mbps-cubic-cubic": (moderately_constrained, ("iperf_cubic", "iperf_cubic"), 2, False),
+    "50mbps-bbr-bbr": (moderately_constrained, ("iperf_bbr", "iperf_bbr"), 3, False),
+    "50mbps-netflix-cubic": (moderately_constrained, ("netflix", "iperf_cubic"), 5, False),
+    "50mbps-meet-bbr": (moderately_constrained, ("meet", "iperf_bbr"), 6, False),
+    "50mbps-web-bbr": (moderately_constrained, ("news_google", "iperf_bbr"), 7, False),
+    "8mbps-gdrive-youtube": (highly_constrained, ("gdrive", "youtube"), 8, False),
+}
+
+
+def _artifact_hash(kind: str, name: str) -> str:
+    network_factory, service_ids, seed, trace = GRID[name]
+    catalog = default_catalog()
+    specs = [catalog.get(sid) for sid in service_ids]
+    config = ExperimentConfig().scaled(DURATION_SEC)
+    result, testbed = run_trial_artifacts(
+        specs,
+        network_factory(),
+        config,
+        seed=seed,
+        trace_packets=trace,
+        engine=build_engine(kind),
+    )
+    payload = {
+        "report": result.to_json(),
+        "trace": testbed.bell.trace.to_json(),
+        "queue_log": testbed.bell.queue_log.to_json(),
+        "clock": testbed.bell.engine.now,
+        "events_scheduled": testbed.bell.engine.events_scheduled,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestEngineGrid:
+    def test_grid_has_eleven_scenarios(self):
+        assert len(GRID) == 11
+
+    @pytest.mark.parametrize("name", sorted(GRID))
+    def test_heap_and_calendar_hashes_match(self, name):
+        assert _artifact_hash("heap", name) == _artifact_hash("calendar", name)
