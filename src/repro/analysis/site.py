@@ -8,10 +8,11 @@ store, so a simulated deployment can publish its findings the same way.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.report import FairnessReport
 from ..core.results import ResultStore
+from ..obs.flight import explain_unfairness
 from .heatmap import mmf_share_grid, render_grid
 
 
@@ -34,12 +35,19 @@ def render_bandwidth_section(
     store: ResultStore,
     service_ids: Sequence[str],
     bandwidth_bps: float,
+    diagnoses: Optional[Dict[Tuple[str, str], Dict]] = None,
 ) -> Optional[str]:
     """One bandwidth's findings section, or ``None`` with no data.
 
     This is the unit of incremental regeneration: a section's text is a
     pure function of the store's data *at this bandwidth* (and the id
     list), so the service only re-renders sections whose data changed.
+
+    ``diagnoses`` maps service-id pairs to flight-recorder diagnosis
+    payloads (:func:`repro.obs.flight.diagnose`); when a worst
+    interaction has one, the section gains a "Why is this unfair?"
+    subsection explaining the mechanism.  ``None`` renders byte-
+    identically to the pre-diagnosis layout.
     """
     label = f"{bandwidth_bps / 1e6:.0f} Mbps"
     report = FairnessReport(store, list(service_ids), bandwidth_bps)
@@ -98,7 +106,40 @@ def render_bandwidth_section(
             f"({t.gamma_vs_beta * 100:.0f}%), yet {t.gamma} vs "
             f"{t.alpha} = {t.gamma_vs_alpha * 100:.0f}%"
         )
+    lines.extend(_why_unfair_lines(worst, diagnoses))
     return "\n".join(lines)
+
+
+def _why_unfair_lines(
+    worst: Sequence[tuple],
+    diagnoses: Optional[Dict[Tuple[str, str], Dict]],
+) -> List[str]:
+    """The "Why is this unfair?" subsection for diagnosed worst cells.
+
+    Empty (so the section is byte-identical to the diagnosis-free
+    layout) when no worst interaction has a flight-recorder diagnosis.
+    """
+    if not diagnoses:
+        return []
+    lines: List[str] = []
+    for contender, incumbent, share in worst:
+        diagnosis = diagnoses.get((contender, incumbent))
+        if diagnosis is None:
+            diagnosis = diagnoses.get((incumbent, contender))
+        if diagnosis is None:
+            continue
+        if not lines:
+            lines.append("")
+            lines.append("### Why is this unfair?")
+        lines.append("")
+        lines.append(
+            f"**{incumbent} vs {contender}** "
+            f"({share * 100:.0f}% of fair share):"
+        )
+        lines.append("")
+        for sentence in explain_unfairness(diagnosis):
+            lines.append(f"- {sentence}")
+    return lines
 
 
 def assemble_page(

@@ -85,6 +85,15 @@ SCENARIOS = {
 #: faster core moves trial numbers by single-digit percents).
 ENGINE_MICROBENCH = "engine-microbench"
 
+#: Flight-recorder cost: the 50 Mbps pair with the recorder attached vs
+#: detached, same repetition pattern.  The row's gated rate is the
+#: recorder-ON run (so compare() catches a recorder hot-path
+#: regression), with the OFF reference and the on/off overhead fraction
+#: alongside.  The detached cost - one integer compare per ACK and per
+#: enqueue - is what every *other* scenario already measures, since they
+#: all run with no recorder attached.
+FLIGHT_OVERHEAD = "flight-overhead"
+
 FULL_DURATION_SEC = 15.0
 FULL_REPEATS = 3
 # Quick mode still has to produce numbers comparable with the committed
@@ -105,14 +114,21 @@ def _run_once(
     seed: int,
     trace: bool,
     pair: tuple = PAIR,
+    flight: bool = False,
 ) -> Dict[str, float]:
     """One timed pair trial; returns wall time and simulated packet count."""
     catalog = default_catalog()
     specs = [catalog.get(sid) for sid in pair]
     config = ExperimentConfig().scaled(duration_sec)
+    recorder = None
+    if flight:
+        from .obs.flight import FlightRecorder
+
+        recorder = FlightRecorder()
     start = time.perf_counter()
     _result, testbed = run_trial_artifacts(
-        specs, network, config, seed=seed, trace_packets=trace
+        specs, network, config, seed=seed, trace_packets=trace,
+        flight=recorder,
     )
     wall = time.perf_counter() - start
     packets = sum(
@@ -195,7 +211,7 @@ def run_benchmark(
     names = (
         scenarios
         if scenarios is not None
-        else list(SCENARIOS) + [ENGINE_MICROBENCH]
+        else list(SCENARIOS) + [ENGINE_MICROBENCH, FLIGHT_OVERHEAD]
     )
     out: Dict = {
         "schema": 1,
@@ -235,6 +251,50 @@ def run_benchmark(
                 "pkts_per_sec": round(best["packets"] / best["wall_sec"], 1),
                 "pkts_per_sec_p50": round(best["packets"] / wall_p50, 1),
                 "sim_sec_per_wall_sec": round(duration_sec / best["wall_sec"], 2),
+            }
+            continue
+        if name == FLIGHT_OVERHEAD:
+            network = moderately_constrained()
+            on_walls: List[float] = []
+            off_walls: List[float] = []
+            best = None
+            for repeat in range(repeats):
+                with tracing.span(
+                    "bench.scenario", scenario=name, repeat=repeat
+                ) as bench_span:
+                    on = _run_once(
+                        network, duration_sec, seed, False, flight=True
+                    )
+                bench_span.set(packets=on["packets"])
+                off = _run_once(network, duration_sec, seed, False)
+                on_walls.append(on["wall_sec"])
+                off_walls.append(off["wall_sec"])
+                if best is None or on["wall_sec"] < best["wall_sec"]:
+                    best = on
+            on_walls.sort()
+            off_walls.sort()
+            on_p50 = percentile(on_walls, 0.5)
+            off_p50 = percentile(off_walls, 0.5)
+            out["scenarios"][name] = {
+                "kind": "flight-overhead",
+                "bandwidth_mbps": network.bandwidth_bps / 1e6,
+                "queue_packets": network.queue_packets,
+                "trace": False,
+                "services": "+".join(PAIR),
+                "packets": best["packets"],
+                "wall_sec": round(best["wall_sec"], 4),
+                "wall_sec_p50": round(on_p50, 4),
+                "wall_sec_p95": round(percentile(on_walls, 0.95), 4),
+                "pkts_per_sec": round(best["packets"] / best["wall_sec"], 1),
+                "pkts_per_sec_p50": round(best["packets"] / on_p50, 1),
+                "sim_sec_per_wall_sec": round(
+                    duration_sec / best["wall_sec"], 2
+                ),
+                "off_wall_sec_p50": round(off_p50, 4),
+                "off_pkts_per_sec_p50": round(best["packets"] / off_p50, 1),
+                "recorder_overhead_fraction": round(
+                    max(on_p50 / off_p50 - 1.0, 0.0), 4
+                ),
             }
             continue
         network_factory, trace, pair = SCENARIOS[name]

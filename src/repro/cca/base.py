@@ -39,6 +39,18 @@ class CongestionControl:
         """Pacing rate in bits/sec, or None for pure ACK clocking."""
         return None
 
+    # --- introspection ----------------------------------------------------
+
+    def flight_state(self) -> "tuple[str, float, float]":
+        """Read-only state for the flight recorder (never mutates).
+
+        Returns ``(phase, aux1, aux2)``: a short phase name plus two
+        controller-specific scalars (JSON-safe: implementations encode
+        ``inf``/``None`` as ``-1.0``).  Called only at sampling-grid
+        boundaries, off the per-ACK fast path.
+        """
+        return ("steady", 0.0, 0.0)
+
     # --- event hooks ------------------------------------------------------
 
     def on_connection_init(self, conn: "Connection") -> None:

@@ -127,6 +127,16 @@ class BBRv1(CongestionControl):
     def state(self) -> str:
         return self._state
 
+    def flight_state(self) -> "tuple[str, float, float]":
+        # .best mirrors .get() without a call frame; _min_rtt_usec may
+        # still be unset during the first round.
+        min_rtt = self._min_rtt_usec
+        return (
+            self._state,
+            self._btlbw.best,
+            -1.0 if min_rtt is None else float(min_rtt),
+        )
+
     @property
     def btlbw_bps(self) -> float:
         return self._btlbw.get()

@@ -49,6 +49,17 @@ class Cubic(CongestionControl):
     def pacing_rate_bps(self) -> Optional[float]:
         return None
 
+    def flight_state(self) -> "tuple[str, float, float]":
+        ssthresh = self.ssthresh
+        if self.cwnd_packets < ssthresh:
+            phase = "slow_start"
+        elif self._epoch_start_usec is None:
+            phase = "epoch_reset"
+        else:
+            phase = "cubic_growth"
+        return (phase, self.w_max,
+                -1.0 if ssthresh == float("inf") else ssthresh)
+
     def _reset_epoch(self, now: int) -> None:
         self._epoch_start_usec = now
         if self.cwnd_packets < self.w_max:

@@ -32,6 +32,14 @@ class NewReno(CongestionControl):
     def pacing_rate_bps(self) -> Optional[float]:
         return None
 
+    def flight_state(self) -> "tuple[str, float, float]":
+        ssthresh = self.ssthresh
+        if self.cwnd_packets < ssthresh:
+            phase = "slow_start"
+        else:
+            phase = "avoidance"
+        return (phase, -1.0 if ssthresh == float("inf") else ssthresh, 0.0)
+
     def on_ack(self, conn, packet, rtt_usec, rate_sample: RateSample) -> None:
         if conn.in_recovery:
             # Window already deflated for this episode; hold it until the

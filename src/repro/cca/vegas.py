@@ -47,6 +47,19 @@ class Vegas(CongestionControl):
     def in_slow_start(self) -> bool:
         return self.cwnd_packets < self.ssthresh
 
+    def flight_state(self) -> "tuple[str, float, float]":
+        ssthresh = self.ssthresh
+        if self.cwnd_packets < ssthresh:
+            phase = "slow_start"
+        else:
+            phase = "avoidance"
+        base_rtt = self.base_rtt_usec
+        return (
+            phase,
+            -1.0 if base_rtt is None else float(base_rtt),
+            -1.0 if ssthresh == float("inf") else ssthresh,
+        )
+
     def on_ack(self, conn, packet, rtt_usec: int, rate_sample: RateSample) -> None:
         # Hot path: state hoisted into locals, one cwnd write per branch.
         base_rtt = self.base_rtt_usec

@@ -104,6 +104,7 @@ class TrialCache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
         self._memory: Dict[str, Dict] = {}
+        self._sidecar_memory: Dict["tuple[str, str]", Dict] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -157,6 +158,60 @@ class TrialCache:
                 self.evict()
 
     # ------------------------------------------------------------------
+    # Sidecars: auxiliary artifacts content-addressed to an entry
+    # ------------------------------------------------------------------
+    #
+    # A sidecar lives at ``<key>.<name>.json``; its stem is longer than
+    # 64 hex chars, so ``is_cache_key`` rejects it and every entry scan
+    # (``_entry_paths`` here, ``fleet.status._entry_keys``) ignores it by
+    # construction.  Flight recordings (repro.obs.flight) are the first
+    # sidecar kind; payloads carry their own schema version.
+
+    def put_sidecar(self, key: str, name: str, payload: Dict) -> None:
+        """Attach an auxiliary JSON artifact to a cache entry's key."""
+        if not is_cache_key(key):
+            raise ValueError(f"not a cache key: {key!r}")
+        self._sidecar_memory[(key, name)] = payload
+        if self.cache_dir is not None:
+            encoded = json.dumps(payload, indent=1, sort_keys=True)
+            self._sidecar_path(key, name).write_text(encoded)
+            get_registry().counter("cache.sidecar_bytes_written").inc(
+                len(encoded)
+            )
+
+    def get_sidecar(self, key: str, name: str) -> Optional[Dict]:
+        """The sidecar payload for ``key``, or ``None`` if absent."""
+        payload = self._sidecar_memory.get((key, name))
+        if payload is None and self.cache_dir is not None:
+            path = self._sidecar_path(key, name)
+            if path.exists():
+                payload = json.loads(path.read_text())
+                self._sidecar_memory[(key, name)] = payload
+        return payload
+
+    def sidecar_keys(self, name: str) -> List[str]:
+        """Entry keys that carry a sidecar of this kind, sorted."""
+        keys = {k for k, n in self._sidecar_memory if n == name}
+        if self.cache_dir is not None:
+            suffix = f".{name}.json"
+            for path in self.cache_dir.glob(f"*{suffix}"):
+                stem = path.name[: -len(suffix)]
+                if is_cache_key(stem):
+                    keys.add(stem)
+        return sorted(keys)
+
+    def _sidecar_path(self, key: str, name: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.{name}.json"
+
+    def _drop_sidecars(self, key: str) -> None:
+        for pair in [p for p in self._sidecar_memory if p[0] == key]:
+            del self._sidecar_memory[pair]
+        if self.cache_dir is not None:
+            for path in self.cache_dir.glob(f"{key}.*.json"):
+                path.unlink()
+
+    # ------------------------------------------------------------------
     # Eviction (ROADMAP: size cap + LRU over the on-disk JSON entries)
     # ------------------------------------------------------------------
 
@@ -188,6 +243,7 @@ class TrialCache:
                 break
             path.unlink()
             self._memory.pop(path.stem, None)
+            self._drop_sidecars(path.stem)
             total -= size
             evicted_bytes += size
             evicted.append(path.stem)
@@ -233,9 +289,12 @@ class TrialCache:
 
     def clear(self) -> None:
         """Drop every entry (memory and disk) and reset counters."""
-        self._memory.clear()
         for path in self._entry_paths():
+            self._drop_sidecars(path.stem)
             path.unlink()
+        for key in {k for k, _n in self._sidecar_memory}:
+            self._drop_sidecars(key)
+        self._memory.clear()
         self.hits = self.misses = self.stores = self.evictions = 0
 
     def _entry_paths(self) -> List[Path]:

@@ -183,6 +183,7 @@ def run_trial_artifacts(
     trace_packets: bool = False,
     cap_overrides: Optional[Sequence[Optional[float]]] = None,
     engine=None,
+    flight=None,
 ) -> "tuple[ExperimentResult, Testbed]":
     """The single trial core: N services contend once through the testbed.
 
@@ -205,8 +206,17 @@ def run_trial_artifacts(
     if len(caps_in) != len(specs):
         raise ValueError("cap_overrides must match specs")
     testbed = Testbed(
-        network, seed=seed, trace_packets=trace_packets, engine=engine
+        network,
+        seed=seed,
+        trace_packets=trace_packets,
+        engine=engine,
+        flight=flight,
     )
+    if flight is not None:
+        flight.meta.setdefault("service_ids", [spec.service_id for spec in specs])
+        flight.meta.setdefault("bandwidth_bps", network.bandwidth_bps)
+        flight.meta.setdefault("buffer_packets", network.queue_packets)
+        flight.meta.setdefault("seed", seed)
     seen: Dict[str, int] = {}
     services = []
     for index, spec in enumerate(specs):
@@ -269,6 +279,7 @@ def run_service_specs(
     env: Optional[ClientEnvironment] = None,
     trace_packets: bool = False,
     cap_overrides: Optional[Sequence[Optional[float]]] = None,
+    flight=None,
 ) -> ExperimentResult:
     """Result-only wrapper over :func:`run_trial_artifacts`."""
     result, _testbed = run_trial_artifacts(
@@ -279,6 +290,7 @@ def run_service_specs(
         env=env,
         trace_packets=trace_packets,
         cap_overrides=cap_overrides,
+        flight=flight,
     )
     return result
 

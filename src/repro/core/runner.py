@@ -134,6 +134,7 @@ def run_trial(
     catalog: Optional[ServiceCatalog] = None,
     env: Optional[ClientEnvironment] = None,
     trace_packets: bool = False,
+    flight=None,
 ) -> ExperimentResult:
     """Execute one :class:`TrialSpec` - the single trial entry point.
 
@@ -159,6 +160,7 @@ def run_trial(
             seed=spec.seed,
             env=env,
             trace_packets=trace_packets,
+            flight=flight,
         )
 
 
@@ -370,6 +372,56 @@ class InlineBackend(ExecutionBackend):
     def _cache_env(self) -> Optional[ClientEnvironment]:
         """Cache keys include this backend's client environment."""
         return self.env
+
+
+class RecordingInlineBackend(InlineBackend):
+    """Inline execution that flight-records every simulated trial.
+
+    Each cache miss runs with a fresh
+    :class:`~repro.obs.flight.FlightRecorder`; the recording payload is
+    kept in :attr:`recordings` (keyed by trial cache key) and - when the
+    backend has a directory cache - persisted as a ``<key>.flight.json``
+    sidecar next to the result entry.  Cache hits skip simulation AND
+    recording, exactly like the plain inline backend: the sidecar from
+    the original run remains the recording of record, so merges across
+    cache hits are loss-free.
+
+    Recording changes nothing about the results (the recorder is pure
+    reads at existing event boundaries; see :mod:`repro.obs.flight`), so
+    this backend is bit-identical to :class:`InlineBackend`.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[ServiceCatalog] = None,
+        env: Optional[ClientEnvironment] = None,
+        cache: Optional[TrialCache] = None,
+        grid_usec: Optional[int] = None,
+    ) -> None:
+        super().__init__(catalog=catalog, env=env, cache=cache)
+        from ..obs.flight import DEFAULT_GRID_USEC
+
+        self.grid_usec = grid_usec or DEFAULT_GRID_USEC
+        self.recordings: Dict[str, Dict] = {}
+
+    def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
+        from ..obs.flight import FlightRecorder
+        from .cache import trial_cache_key
+
+        results: List[ExperimentResult] = []
+        for spec in trials:
+            recorder = FlightRecorder(self.grid_usec)
+            results.append(
+                run_trial(
+                    spec, catalog=self.catalog, env=self.env, flight=recorder
+                )
+            )
+            key = trial_cache_key(spec, self.env)
+            payload = recorder.to_json()
+            self.recordings[key] = payload
+            if self.cache is not None:
+                self.cache.put_sidecar(key, "flight", payload)
+        return results
 
 
 def _resolve_catalog(catalog_factory: str) -> ServiceCatalog:

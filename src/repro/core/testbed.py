@@ -27,11 +27,16 @@ class Testbed:
         seed: int = 0,
         trace_packets: bool = False,
         engine=None,
+        flight=None,
     ) -> None:
         self.network = network
         self.bell = Dumbbell(
             network, seed=seed, trace_packets=trace_packets, engine=engine
         )
+        if flight is not None:
+            # Arm the recorder before any service attaches, so every
+            # connection created from here on registers its channel.
+            flight.attach(self.bell.link)
         self.services: List[Service] = []
         self._window_start_usec: Optional[int] = None
         self._window_end_usec: Optional[int] = None

@@ -110,6 +110,8 @@ def cmd_fleet_run_shard(args) -> int:
         backend_kind=args.backend,
         workers=args.workers,
         cache_max_bytes=args.cache_max_bytes,
+        record_flight=args.record_flight,
+        flight_prefix_points=args.flight_prefix_points,
     )
     stats = receipt.stats
     print(
@@ -118,6 +120,11 @@ def cmd_fleet_run_shard(args) -> int:
         f"({stats.trials_run} simulated, {stats.cache_hits} cache hits, "
         f"{stats.wall_clock_sec:.1f}s simulating) -> {args.cache_dir}"
     )
+    if receipt.flight_prefix is not None:
+        print(
+            f"  flight recordings: {len(receipt.flight_prefix)} trial(s) "
+            "(full sidecars in the cache dir, prefixes in the receipt)"
+        )
     return 0
 
 
@@ -377,6 +384,13 @@ def register(sub: argparse._SubParsersAction) -> None:
                    help="pool size / async concurrency")
     p.add_argument("--cache-max-bytes", type=int, default=None,
                    help="LRU-evict the shard cache above this many bytes")
+    p.add_argument("--record-flight", action="store_true",
+                   help="flight-record simulated trials: full recordings "
+                        "as cache sidecars, truncated prefixes in the "
+                        "receipt (forces the inline backend)")
+    p.add_argument("--flight-prefix-points", type=int, default=32,
+                   help="grid points kept per channel in the receipt's "
+                        "flight prefix (default: 32)")
     p.set_defaults(func=_wrap(cmd_fleet_run_shard))
 
     p = fleet_sub.add_parser(

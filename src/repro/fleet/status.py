@@ -48,6 +48,9 @@ class ShardStatus:
     directory: Optional[str] = None
     age_sec: Optional[float] = None
     attempt: Optional[int] = None
+    #: The parsed receipt backing a "done" row (not serialised per-shard;
+    #: FleetStatus folds every receipt into its telemetry rollup).
+    receipt: Optional[ShardReceipt] = None
 
     def to_json(self) -> Dict:
         """Plain-JSON row for ``fleet status --json``."""
@@ -92,6 +95,48 @@ class FleetStatus:
     def complete(self) -> bool:
         return all(s.state == "done" for s in self.shards)
 
+    def telemetry(self) -> Optional[Dict]:
+        """Fold every seen receipt into fleet-wide obs totals.
+
+        ``None`` until at least one receipt exists.  Sums the receipts'
+        :class:`RunnerStats` counters, unions their metrics snapshots
+        (:func:`~repro.obs.metrics.merge_snapshots`), counts
+        flight-recorded trials, and reports the youngest receipt's age -
+        the fleet-side half of the observability rollup (the service
+        side lives in ``repro service status``).
+        """
+        receipts = [s.receipt for s in self.shards if s.receipt is not None]
+        if not receipts:
+            return None
+        from ..obs.metrics import merge_snapshots
+
+        ages = [
+            s.age_sec
+            for s in self.shards
+            if s.receipt is not None and s.age_sec is not None
+        ]
+        return {
+            "receipts": len(receipts),
+            "trials_folded": sum(len(r.completed_keys) for r in receipts),
+            "trials_simulated": sum(r.stats.trials_run for r in receipts),
+            "cache_hits": sum(r.stats.cache_hits for r in receipts),
+            "cache_misses": sum(r.stats.cache_misses for r in receipts),
+            "wall_clock_sec": round(
+                sum(r.stats.wall_clock_sec for r in receipts), 3
+            ),
+            "flight_recorded": sum(
+                len(r.flight_prefix)
+                for r in receipts
+                if r.flight_prefix is not None
+            ),
+            "newest_receipt_age_sec": (
+                round(min(ages), 1) if ages else None
+            ),
+            "metrics": merge_snapshots(
+                r.metrics for r in receipts if r.metrics is not None
+            ),
+        }
+
     def to_json(self) -> Dict:
         """Machine-readable rollup (counts, coverage, per-shard rows)."""
         return {
@@ -101,6 +146,7 @@ class FleetStatus:
             "trials_planned": self.trials_planned,
             "trials_completed": self.trials_completed,
             "complete": self.complete,
+            "telemetry": self.telemetry(),
             "shards": [s.to_json() for s in self.shards],
             "foreign_dirs": list(self.foreign_dirs),
         }
@@ -133,6 +179,23 @@ class FleetStatus:
             f"{self.trials_completed}/{self.trials_planned} planned "
             "trials covered"
         )
+        telemetry = self.telemetry()
+        if telemetry is not None:
+            age = telemetry["newest_receipt_age_sec"]
+            flight = (
+                f", {telemetry['flight_recorded']} flight-recorded"
+                if telemetry["flight_recorded"]
+                else ""
+            )
+            line = (
+                f"telemetry: {telemetry['trials_folded']} trials folded "
+                f"from {telemetry['receipts']} receipt(s) "
+                f"({telemetry['trials_simulated']} simulated, "
+                f"{telemetry['cache_hits']} cache hits{flight})"
+            )
+            if age is not None:
+                line += f"; newest receipt {age:.0f}s old"
+            lines.append(line)
         if self.foreign_dirs:
             lines.append(
                 f"ignored {len(self.foreign_dirs)} unrelated "
@@ -252,6 +315,7 @@ def fleet_status(
             directory=str(directory),
             age_sec=max(age, 0.0),
             attempt=receipt.attempt if receipt is not None else None,
+            receipt=receipt,
         )
         # Two dirs claiming one shard: keep the more advanced one -
         # done beats not-done, then a later retry attempt beats an

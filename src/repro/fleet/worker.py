@@ -56,6 +56,11 @@ class ShardReceipt:
     metrics: Optional[Dict] = None
     attempt: int = 0
     round_index: Optional[int] = None
+    #: Truncated flight-recorder summaries keyed by cache key (only when
+    #: the shard ran with ``record_flight``) - the first N grid points
+    #: per channel, so merges carry diagnosis features without shipping
+    #: the full ``<key>.flight.json`` sidecars.
+    flight_prefix: Optional[Dict] = None
 
     def to_json(self) -> Dict:
         """Schema-versioned receipt payload, round-trippable via from_json."""
@@ -74,6 +79,8 @@ class ShardReceipt:
             payload["round_index"] = self.round_index
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.flight_prefix is not None:
+            payload["flight_prefix"] = self.flight_prefix
         return payload
 
     @classmethod
@@ -93,6 +100,7 @@ class ShardReceipt:
             metrics=payload.get("metrics"),
             attempt=payload.get("attempt", 0),
             round_index=payload.get("round_index"),
+            flight_prefix=payload.get("flight_prefix"),
         )
 
     @classmethod
@@ -119,6 +127,8 @@ def run_shard(
     backend_kind: Optional[str] = None,
     workers: Optional[int] = None,
     cache_max_bytes: Optional[int] = None,
+    record_flight: bool = False,
+    flight_prefix_points: int = 32,
 ) -> ShardReceipt:
     """Execute one shard manifest into ``cache_dir``; write the receipt.
 
@@ -132,6 +142,14 @@ def run_shard(
     ``cache_max_bytes`` enables LRU eviction on the shard cache; note a
     cap smaller than the shard's own output will surface as gaps at merge
     time (the receipt still lists every completed key).
+
+    ``record_flight`` runs every cache-missing trial under a flight
+    recorder (:mod:`repro.obs.flight`): full recordings land as
+    ``<key>.flight.json`` sidecars in ``cache_dir``, and the receipt's
+    ``flight_prefix`` carries the first ``flight_prefix_points`` grid
+    points per trial so the merge sees diagnosis features without the
+    sidecars.  Recording forces the inline backend, so it conflicts with
+    an explicit ``backend``/``backend_kind``.
     """
     if not isinstance(manifest, dict):
         manifest = load_manifest(manifest)
@@ -154,6 +172,17 @@ def run_shard(
             )
         specs.append(spec)
     cache = TrialCache(Path(cache_dir), max_bytes=cache_max_bytes)
+    recording_backend = None
+    if record_flight:
+        if backend is not None or backend_kind is not None:
+            raise FleetError(
+                "record_flight forces the inline recording backend - "
+                "drop the explicit backend/backend_kind"
+            )
+        from ..core.runner import RecordingInlineBackend
+
+        recording_backend = RecordingInlineBackend(cache=cache)
+        backend = recording_backend
     if backend is None:
         backend = build_backend(backend_kind, workers, cache=cache)
     elif backend.cache is None:
@@ -166,6 +195,14 @@ def run_shard(
     ):
         backend.run(specs)
     cycle = manifest.get("cycle") or {}
+    flight_prefix = None
+    if recording_backend is not None:
+        from ..obs.flight import prefix_summary
+
+        flight_prefix = {
+            key: prefix_summary(payload, max_points=flight_prefix_points)
+            for key, payload in sorted(recording_backend.recordings.items())
+        }
     receipt = ShardReceipt(
         plan_id=manifest["plan_id"],
         shard_index=manifest["shard_index"],
@@ -176,6 +213,7 @@ def run_shard(
         metrics=diff_snapshots(metrics_before, get_registry().snapshot()),
         attempt=manifest.get("attempt", 0),
         round_index=cycle.get("round"),
+        flight_prefix=flight_prefix,
     )
     receipt.write(cache_dir)
     return receipt

@@ -20,6 +20,7 @@ from collections import defaultdict
 from typing import Dict, Optional
 
 from .. import units
+from ..obs.flight import FLIGHT_NEVER
 from .engine import Engine
 from .packet import Packet
 from .queue import DropTailQueue
@@ -45,9 +46,11 @@ class BottleneckLink:
         "trace",
         "delivered_bytes",
         "busy_usec",
+        "flight",
         "_busy",
         "_last_busy_start",
         "_ser_usec",
+        "_flight_next",
     )
 
     def __init__(
@@ -69,6 +72,11 @@ class BottleneckLink:
         self.busy_usec = 0
         self._busy = False
         self._last_busy_start = 0
+        # Flight-recorder gate (see repro.obs.flight): armed by
+        # FlightRecorder.attach; the sentinel keeps the disabled send
+        # path to one integer compare.
+        self.flight = None
+        self._flight_next = FLIGHT_NEVER
         # size_bytes -> serialisation time in usec.  One or two packet
         # sizes dominate any trial, so this is effectively a constant fold
         # of ``units.serialization_time_usec`` for the drain loop.
@@ -91,6 +99,8 @@ class BottleneckLink:
         log = queue.log
         if log is not None:
             log.maybe_sample(now, len(queue))
+        if now >= self._flight_next:
+            self._flight_next = self.flight.sample_queue(now, self)
         if not accepted:
             packet.flow.on_packet_dropped(packet)
             return

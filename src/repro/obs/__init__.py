@@ -1,6 +1,6 @@
 """repro.obs - zero-dependency observability for the watchdog pipeline.
 
-Four small, composable pieces (see DESIGN.md §7):
+Five small, composable pieces (see DESIGN.md §7):
 
 - :mod:`repro.obs.metrics`   - process-local counters / gauges /
   histograms with JSON snapshot, merge, and diff
@@ -9,14 +9,27 @@ Four small, composable pieces (see DESIGN.md §7):
 - :mod:`repro.obs.log`       - structured (optionally JSON) logging
 - :mod:`repro.obs.heartbeat` - atomic per-cycle heartbeat file so
   ``run_continuously`` is inspectable from outside the process
+- :mod:`repro.obs.flight`    - simulation-time flight recorder:
+  grid-sampled per-connection CCA state and queue telemetry, plus the
+  per-trial diagnosis summaries the service site publishes
 
-Every hook is off the simulator's per-packet path and outside the
-simulated clock: instrumentation reads existing counters after a trial
-finishes and times regions of *wall* time, so enabling it cannot
-perturb simulation output (`tests/test_obs.py` proves this against the
-golden-identity fixture).
+Every hook either stays off the simulator's per-packet path entirely
+(metrics/tracing/log/heartbeat read counters after a trial and time
+*wall* regions) or - for the flight recorder - performs pure reads at
+existing event boundaries without scheduling anything, so enabling any
+of it cannot perturb simulation output (`tests/test_obs.py` and
+`tests/test_flight.py` prove this against the golden-identity fixture).
 """
 
+from .flight import (  # noqa: F401
+    DIAGNOSIS_SCHEMA_VERSION,
+    FLIGHT_NEVER,
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    diagnose,
+    explain_unfairness,
+    prefix_summary,
+)
 from .heartbeat import (  # noqa: F401
     HEARTBEAT_SCHEMA_VERSION,
     Heartbeat,

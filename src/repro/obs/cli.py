@@ -8,6 +8,8 @@ Three subcommands over the files the instrumented pipeline produces:
   ``trace_event`` format for Perfetto / ``chrome://tracing``
 - ``obs heartbeat <file>``        - decode a watchdog heartbeat file
   (phase, progress, ETA, staleness)
+- ``obs flight record|summarize|render`` - run a flight-recorded trial,
+  print its diagnosis, or render the ASCII timeline / Chrome counters
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import argparse
 import json
 import sys
 
+from . import flight as flight_mod
 from .heartbeat import Heartbeat, describe
 from .tracing import read_spans, render_summary, summarize, to_chrome_trace
 
@@ -88,6 +91,110 @@ def cmd_obs_heartbeat(args) -> int:
     return 0
 
 
+def _load_flight(path: str):
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"obs error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    schema = payload.get("schema")
+    if schema != flight_mod.FLIGHT_SCHEMA_VERSION:
+        print(
+            f"obs error: {path} has flight schema {schema!r}, "
+            f"expected {flight_mod.FLIGHT_SCHEMA_VERSION}",
+            file=sys.stderr,
+        )
+        return None
+    return payload
+
+
+def cmd_obs_flight_record(args) -> int:
+    """Run one flight-recorded pair trial and write the recording JSON."""
+    from .. import units
+    from ..config import ExperimentConfig, NetworkConfig
+    from ..core.experiment import run_trial_artifacts
+    from ..services.catalog import default_catalog
+
+    catalog = default_catalog()
+    try:
+        specs = [catalog.get(sid) for sid in args.services]
+    except KeyError as exc:
+        print(f"obs error: {exc}", file=sys.stderr)
+        return 1
+    network = NetworkConfig(
+        bandwidth_bps=units.mbps(args.bandwidth),
+        buffer_bdp_multiple=args.buffer_bdp,
+    )
+    recorder = flight_mod.FlightRecorder(grid_usec=args.grid_usec)
+    run_trial_artifacts(
+        specs,
+        network,
+        ExperimentConfig().scaled(args.duration),
+        seed=args.seed,
+        flight=recorder,
+    )
+    payload = recorder.to_json()
+    encoded = json.dumps(payload, indent=1, sort_keys=True)
+    if args.out == "-":
+        print(encoded)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(encoded + "\n")
+        samples = sum(
+            len(c.times_usec) for c in recorder.connections.values()
+        )
+        print(
+            f"recorded {len(recorder.connections)} connection(s), "
+            f"{samples} samples to {args.out}"
+        )
+    return 0
+
+
+def cmd_obs_flight_summarize(args) -> int:
+    """Print the per-trial diagnosis derived from a flight recording."""
+    payload = _load_flight(args.recording)
+    if payload is None:
+        return 1
+    diagnosis = flight_mod.diagnose(payload)
+    if args.json:
+        print(json.dumps(diagnosis, indent=1, sort_keys=True))
+    else:
+        print(flight_mod.render_summary(diagnosis))
+        print()
+        print("why is this unfair:")
+        for line in flight_mod.explain_unfairness(diagnosis):
+            print(f"- {line}")
+    return 0
+
+
+def cmd_obs_flight_render(args) -> int:
+    """Render a flight recording: ASCII timeline and/or Chrome counters."""
+    payload = _load_flight(args.recording)
+    if payload is None:
+        return 1
+    print(flight_mod.render_timeline(payload, width=args.width))
+    if args.chrome is not None:
+        events = flight_mod.to_chrome_counters(payload)
+        if args.spans is not None:
+            try:
+                spans = read_spans(args.spans)
+            except OSError as exc:
+                print(
+                    f"obs error: cannot read {args.spans}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            events = to_chrome_trace(spans)["traceEvents"] + events
+        with open(args.chrome, "w") as fh:
+            json.dump({"traceEvents": events}, fh, indent=1)
+        print(
+            f"wrote {len(events)} counter/span events to {args.chrome} "
+            "(open in Perfetto or chrome://tracing)"
+        )
+    return 0
+
+
 def register(sub: argparse._SubParsersAction) -> None:
     """Attach the ``obs`` command tree to the top-level CLI."""
     obs = sub.add_parser(
@@ -121,3 +228,49 @@ def register(sub: argparse._SubParsersAction) -> None:
                    help="exit 1 when the heartbeat is older than this "
                         "many seconds (and not done)")
     p.set_defaults(func=cmd_obs_heartbeat)
+
+    fl = obs_sub.add_parser(
+        "flight", help="simulation-time flight recordings (repro.obs.flight)"
+    )
+    fl_sub = fl.add_subparsers(dest="flight_command", required=True)
+
+    p = fl_sub.add_parser(
+        "record", help="run one flight-recorded trial, write the recording"
+    )
+    p.add_argument("services", nargs="+",
+                   help="service ids to contend (one = solo run)")
+    p.add_argument("--bandwidth", type=float, default=8.0,
+                   help="bottleneck bandwidth in Mbps (default: 8)")
+    p.add_argument("--buffer-bdp", type=float, default=4.0,
+                   help="queue size as a BDP multiple (default: 4)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="experiment duration in seconds (default: 60)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--grid-usec", type=int,
+                   default=flight_mod.DEFAULT_GRID_USEC,
+                   help="sampling grid in simulated usec (default: 100000)")
+    p.add_argument("--out", "-o", default="flight.json",
+                   help="recording output file, or '-' for stdout")
+    p.set_defaults(func=cmd_obs_flight_record)
+
+    p = fl_sub.add_parser(
+        "summarize",
+        help="dwell times, queue/throughput shares, unfairness diagnosis",
+    )
+    p.add_argument("recording", help="flight recording JSON file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable diagnosis")
+    p.set_defaults(func=cmd_obs_flight_summarize)
+
+    p = fl_sub.add_parser(
+        "render", help="ASCII timeline + optional Chrome counter export"
+    )
+    p.add_argument("recording", help="flight recording JSON file")
+    p.add_argument("--width", type=int, default=60,
+                   help="timeline width in characters (default: 60)")
+    p.add_argument("--chrome", default=None,
+                   help="also write Chrome counter-track JSON here")
+    p.add_argument("--spans", default=None,
+                   help="merge wall-clock spans from this JSONL trace "
+                        "into the --chrome export")
+    p.set_defaults(func=cmd_obs_flight_render)

@@ -67,11 +67,12 @@ from ..core.submission import SubmissionError, SubmissionPortal
 from ..fleet.adaptive import AdaptiveCycleState, ASSEMBLY_PLAN_FILENAME, STATE_FILENAME
 from ..fleet.plan import FleetPlan, load_plan
 from ..obs import tracing
-from ..obs.heartbeat import HeartbeatWriter
+from ..obs.flight import FLIGHT_SCHEMA_VERSION, diagnose
+from ..obs.heartbeat import Heartbeat, HeartbeatWriter
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..services.catalog import ServiceCatalog, default_catalog
-from .site import SiteRenderer
+from .site import SiteRenderer, bandwidth_tag
 from .store import CycleRecord, RollingResultStore
 
 _log = get_logger("service")
@@ -114,6 +115,7 @@ class IngestReport:
     skipped: bool = False
     bandwidths_bps: List[float] = field(default_factory=list)
     requeued: List[str] = field(default_factory=list)
+    diagnosed: int = 0
 
     def to_json(self) -> Dict:
         """Return the report as a JSON-serialisable dict."""
@@ -362,6 +364,69 @@ class WatchdogService:
             written.append(str(path))
         return written
 
+    def _ingest_flight_sidecars(self, entry: Path) -> int:
+        """Diagnose the entry's flight recordings into ``out/diagnoses/``.
+
+        Fleet workers running with ``--record-flight`` leave
+        ``<key>.flight.json`` sidecars next to the cache entries; each
+        is reduced to its :func:`repro.obs.flight.diagnose` summary and
+        published under ``out/diagnoses/<bandwidth-tag>/<a>__<b>.json``
+        (later-sorted sidecars win for a pair, deterministically).
+        Diagnosis is best-effort decoration - a bad sidecar is logged
+        and skipped, never fatal to the ingest - and the atomic
+        per-pair writes make re-runs after a crash idempotent.
+        """
+        cache_dir = self._entry_cache_dir(entry)
+        written = 0
+        for path in sorted(cache_dir.glob("*.flight.json")):
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("schema") != FLIGHT_SCHEMA_VERSION:
+                    continue
+                diagnosis = diagnose(payload)
+            except Exception as exc:
+                _log.warning(
+                    "service.flight_diagnose_failed",
+                    sidecar=path.name,
+                    error=str(exc),
+                )
+                continue
+            meta = diagnosis.get("meta") or {}
+            ids = meta.get("service_ids") or []
+            bandwidth = meta.get("bandwidth_bps")
+            if not ids or bandwidth is None:
+                continue
+            dest_dir = self.out / "diagnoses" / bandwidth_tag(float(bandwidth))
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            dest = dest_dir / f"{ids[0]}__{ids[-1]}.json"
+            _atomic_write(
+                dest, json.dumps(diagnosis, indent=1, sort_keys=True)
+            )
+            written += 1
+        if written:
+            get_registry().counter("service.flight_diagnosed").inc(written)
+        return written
+
+    def load_diagnoses(self) -> Dict[float, Dict]:
+        """Published diagnoses as bandwidth -> (a, b) pair -> payload."""
+        root = self.out / "diagnoses"
+        out: Dict[float, Dict] = {}
+        if not root.is_dir():
+            return out
+        for path in sorted(root.glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):  # torn write; skip
+                continue
+            meta = payload.get("meta") or {}
+            ids = meta.get("service_ids") or []
+            bandwidth = meta.get("bandwidth_bps")
+            if not ids or bandwidth is None:
+                continue
+            pair = (ids[0], ids[-1])
+            out.setdefault(float(bandwidth), {})[pair] = payload
+        return out
+
     def _move_entry(self, entry: Path, bucket: str) -> None:
         dest = self.spool / bucket / entry.name
         if dest.exists():
@@ -412,6 +477,9 @@ class WatchdogService:
                 cycle_id = f"{plan.plan_id}+{len(specs)}"
                 requeued = self._requeue_missing_shards(plan, cache)
         if cycle_id in self.store.ingested_ids():
+            # Re-diagnose before retiring: heals a crash that landed
+            # between the journal commit and the diagnosis writes.
+            diagnosed = self._ingest_flight_sidecars(entry)
             self._move_entry(entry, "done")
             return IngestReport(
                 source=entry.name,
@@ -419,6 +487,7 @@ class WatchdogService:
                 kind=kind,
                 partial=partial,
                 skipped=True,
+                diagnosed=diagnosed,
             )
         backend = InlineBackend(cache=cache, cache_only=True)
         with tracing.span(
@@ -444,6 +513,7 @@ class WatchdogService:
                 record, pre_commit=lambda: _fault("pre-commit")
             )
         _fault("post-commit")
+        diagnosed = self._ingest_flight_sidecars(entry)
         self.state["cycles"].append(
             {
                 "cycle_id": cycle_id,
@@ -454,6 +524,13 @@ class WatchdogService:
                 "ingested_unix": time.time(),
             }
         )
+        totals = self.state.setdefault(
+            "totals",
+            {"cache_hits": 0, "trials_folded": 0, "flight_diagnosed": 0},
+        )
+        totals["cache_hits"] += backend.stats.cache_hits
+        totals["trials_folded"] += len(record.results)
+        totals["flight_diagnosed"] += diagnosed
         self._save_state()
         self._move_entry(entry, "done")
         registry = get_registry()
@@ -477,6 +554,7 @@ class WatchdogService:
             partial=partial,
             bandwidths_bps=bandwidths,
             requeued=requeued,
+            diagnosed=diagnosed,
         )
 
     # ------------------------------------------------------------------
@@ -500,7 +578,9 @@ class WatchdogService:
         if self.window_cycles is not None:
             changed_bandwidths = None
         return self.site.regenerate(
-            self.windowed_store(), changed_bandwidths
+            self.windowed_store(),
+            changed_bandwidths,
+            diagnoses=self.load_diagnoses(),
         )
 
     def write_next_plan(self) -> Path:
@@ -646,6 +726,46 @@ class WatchdogService:
                 "rejected": len(ledger["rejected"]),
             },
             "last_cycles": self.state["cycles"][-5:],
+            "observability": self._observability_status(),
             "site_index": str(self.site.index_path),
             "next_plan": str(self.out / "next-plan" / "plan.json"),
+        }
+
+    def _observability_status(self) -> Dict:
+        """Freshness ages and durable obs totals for ``status()``.
+
+        ``last_ingest_age_sec`` is how long since a cycle was folded,
+        ``heartbeat_age_sec`` how long since the service loop wrote its
+        heartbeat (``None`` before either happens) - the two staleness
+        signals an operator watches.  Totals accumulate across restarts
+        via the service state (legacy states report zeros).
+        """
+        now = time.time()
+        ingest_times = [
+            entry["ingested_unix"]
+            for entry in self.state["cycles"]
+            if entry.get("ingested_unix") is not None
+        ]
+        heartbeat_age = None
+        try:
+            beat = Heartbeat.load(self.out / "heartbeat.json")
+            heartbeat_age = round(beat.age_sec(now), 1)
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        totals = self.state.get("totals") or {
+            "cache_hits": 0,
+            "trials_folded": 0,
+            "flight_diagnosed": 0,
+        }
+        return {
+            "last_ingest_age_sec": (
+                round(now - max(ingest_times), 1) if ingest_times else None
+            ),
+            "heartbeat_age_sec": heartbeat_age,
+            "totals": dict(totals),
+            "diagnoses_published": len(
+                list((self.out / "diagnoses").glob("*/*.json"))
+            )
+            if (self.out / "diagnoses").is_dir()
+            else 0,
         }

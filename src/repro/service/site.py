@@ -94,6 +94,7 @@ class SiteRenderer:
         self,
         store: ResultStore,
         changed_bandwidths: Optional[Sequence[float]] = None,
+        diagnoses: Optional[Dict[float, Dict]] = None,
     ) -> List[float]:
         """Bring the site up to date with ``store``; return what changed.
 
@@ -103,6 +104,12 @@ class SiteRenderer:
         With ``None`` (service startup, or an explicit full refresh),
         every bandwidth in the store is re-rendered, which also heals a
         crash that landed between a journal commit and the site write.
+
+        ``diagnoses`` maps bandwidth -> pair -> flight-recorder
+        diagnosis payload; diagnosed worst interactions gain a "Why is
+        this unfair?" subsection in their bandwidth section.  The
+        content hash covers it, so a new diagnosis re-renders the
+        section exactly like new trial data would.
         """
         state = self._load_state()
         known: Dict[float, Dict] = {
@@ -119,7 +126,12 @@ class SiteRenderer:
             path = self.sections_dir / f"bw-{tag}.md"
             ids = _service_ids_at(store, bandwidth)
             section = (
-                render_bandwidth_section(store, ids, bandwidth)
+                render_bandwidth_section(
+                    store,
+                    ids,
+                    bandwidth,
+                    diagnoses=(diagnoses or {}).get(bandwidth),
+                )
                 if ids
                 else None
             )
