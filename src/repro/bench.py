@@ -12,6 +12,11 @@ CCA pairings that dominate the per-ACK profile:
   BBR pair is filter/state-machine bound, the Cubic pair is pure window
   math, and the mixed pair is the canonical Prudentia matchup)
 
+plus three special-cased rows: a pure-scheduler engine microbench, the
+flight-recorder on/off overhead, and the ``earlystop`` speedup row (the
+mixed pair run with and without the trial-level early-termination
+monitor armed - wall-clock speedup factor and simulated seconds saved).
+
 Each scenario is a pair trial at a fixed seed, run through the same
 :func:`repro.core.experiment.run_trial_artifacts` code path as real
 experiments, repeated a few times with the best (least noisy) repetition
@@ -94,6 +99,14 @@ ENGINE_MICROBENCH = "engine-microbench"
 #: all run with no recorder attached.
 FLIGHT_OVERHEAD = "flight-overhead"
 
+#: Trial-level early termination payoff: the canonical mixed cubic/bbr
+#: pair at 50 Mbps run twice per repetition - once with the default
+#: :class:`~repro.core.earlystop.EarlyStopModel` armed, once without.
+#: The row's gated rate is the earlystop-ON run (so compare() catches a
+#: checkpoint hot-path regression), with the OFF reference, the
+#: wall-clock speedup factor, and the simulated seconds saved alongside.
+EARLYSTOP_SPEEDUP = "earlystop"
+
 FULL_DURATION_SEC = 15.0
 FULL_REPEATS = 3
 # Quick mode still has to produce numbers comparable with the committed
@@ -115,6 +128,7 @@ def _run_once(
     trace: bool,
     pair: tuple = PAIR,
     flight: bool = False,
+    earlystop: bool = False,
 ) -> Dict[str, float]:
     """One timed pair trial; returns wall time and simulated packet count."""
     catalog = default_catalog()
@@ -125,10 +139,15 @@ def _run_once(
         from .obs.flight import FlightRecorder
 
         recorder = FlightRecorder()
+    monitor = None
+    if earlystop:
+        from .core.earlystop import EarlyStopModel, EarlyStopMonitor
+
+        monitor = EarlyStopMonitor(EarlyStopModel())
     start = time.perf_counter()
-    _result, testbed = run_trial_artifacts(
+    result, testbed = run_trial_artifacts(
         specs, network, config, seed=seed, trace_packets=trace,
-        flight=recorder,
+        flight=recorder, earlystop=monitor,
     )
     wall = time.perf_counter() - start
     packets = sum(
@@ -136,7 +155,12 @@ def _run_once(
         for service in testbed.services
         for connection in service.connections
     )
-    return {"wall_sec": wall, "packets": packets}
+    sample = {"wall_sec": wall, "packets": packets}
+    if earlystop:
+        meta = result.earlystop or {}
+        sample["sim_sec_saved"] = float(meta.get("sim_sec_saved", 0.0))
+        sample["truncated"] = bool(meta.get("truncated"))
+    return sample
 
 
 def _run_engine_microbench(duration_sec: float, seed: int) -> Dict[str, float]:
@@ -211,7 +235,8 @@ def run_benchmark(
     names = (
         scenarios
         if scenarios is not None
-        else list(SCENARIOS) + [ENGINE_MICROBENCH, FLIGHT_OVERHEAD]
+        else list(SCENARIOS)
+        + [ENGINE_MICROBENCH, FLIGHT_OVERHEAD, EARLYSTOP_SPEEDUP]
     )
     out: Dict = {
         "schema": 1,
@@ -294,6 +319,51 @@ def run_benchmark(
                 "off_pkts_per_sec_p50": round(best["packets"] / off_p50, 1),
                 "recorder_overhead_fraction": round(
                     max(on_p50 / off_p50 - 1.0, 0.0), 4
+                ),
+            }
+            continue
+        if name == EARLYSTOP_SPEEDUP:
+            network = moderately_constrained()
+            on_walls = []
+            off_walls = []
+            best = None
+            for repeat in range(repeats):
+                with tracing.span(
+                    "bench.scenario", scenario=name, repeat=repeat
+                ) as bench_span:
+                    on = _run_once(
+                        network, duration_sec, seed, False, earlystop=True
+                    )
+                bench_span.set(packets=on["packets"])
+                off = _run_once(network, duration_sec, seed, False)
+                on_walls.append(on["wall_sec"])
+                off_walls.append(off["wall_sec"])
+                if best is None or on["wall_sec"] < best["wall_sec"]:
+                    best = on
+            on_walls.sort()
+            off_walls.sort()
+            on_p50 = percentile(on_walls, 0.5)
+            off_p50 = percentile(off_walls, 0.5)
+            out["scenarios"][name] = {
+                "kind": "earlystop-speedup",
+                "bandwidth_mbps": network.bandwidth_bps / 1e6,
+                "queue_packets": network.queue_packets,
+                "trace": False,
+                "services": "+".join(PAIR),
+                "packets": best["packets"],
+                "wall_sec": round(best["wall_sec"], 4),
+                "wall_sec_p50": round(on_p50, 4),
+                "wall_sec_p95": round(percentile(on_walls, 0.95), 4),
+                "pkts_per_sec": round(best["packets"] / best["wall_sec"], 1),
+                "pkts_per_sec_p50": round(best["packets"] / on_p50, 1),
+                "sim_sec_per_wall_sec": round(
+                    duration_sec / best["wall_sec"], 2
+                ),
+                "off_wall_sec_p50": round(off_p50, 4),
+                "truncated": best["truncated"],
+                "sim_sec_saved": round(best["sim_sec_saved"], 3),
+                "speedup_factor": round(
+                    max(off_p50 / on_p50, 0.0), 4
                 ),
             }
             continue

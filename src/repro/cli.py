@@ -13,6 +13,9 @@ watchdog is driven:
   merge / status / report (see :mod:`repro.fleet.cli`)
 - ``bench``     - hot-path benchmark suite, writing ``BENCH_netsim.json``
   (see :mod:`repro.bench`)
+- ``earlystop`` - train the trial-level early-termination stop rule from
+  a cached corpus; arm it via ``--earlystop`` on ``pair``/``cycle`` and
+  the fleet commands (see :mod:`repro.core.earlystop`)
 - ``obs``       - observability artifacts: span-trace summaries, Chrome
   trace export, heartbeat inspection (see :mod:`repro.obs.cli`)
 - ``service``   - long-running watchdog coordinator: spool ingestion,
@@ -90,6 +93,31 @@ def _cache(args) -> "TrialCache | None":
     return None
 
 
+def _earlystop(args):
+    """:class:`EarlyStopConfig` from ``--earlystop`` knobs, or ``None``."""
+    if getattr(args, "earlystop", None) is None:
+        return None
+    from .core.earlystop import EarlyStopConfig, EarlyStopModel
+
+    return EarlyStopConfig(
+        model=EarlyStopModel.load(args.earlystop),
+        audit_fraction=args.earlystop_audit,
+    )
+
+
+def _add_earlystop_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--earlystop", default=None, metavar="MODEL.json",
+        help="arm trial-level early termination with this model "
+             "artifact (train one with 'repro earlystop fit')",
+    )
+    parser.add_argument(
+        "--earlystop-audit", type=float, default=0.05,
+        help="fraction of armed trials audited at full length to "
+             "measure the mispredict rate (default: 0.05)",
+    )
+
+
 def _backend(args) -> ExecutionBackend:
     """The execution backend CLI commands dispatch trials through."""
     return build_backend(
@@ -97,6 +125,7 @@ def _backend(args) -> ExecutionBackend:
         workers=getattr(args, "workers", None),
         cache=_cache(args),
         catalog=default_catalog(),
+        earlystop=_earlystop(args),
     )
 
 
@@ -259,12 +288,14 @@ def _cycle_policy_overrides(args) -> "dict | None":
 
 def cmd_cycle(args) -> int:
     """Run an all-pairs watchdog cycle and print the heatmap."""
+    earlystop = _earlystop(args)
     watchdog = Prudentia(
         networks=[_network(args)],
         experiment_config=_config(args),
         policy_overrides=_cycle_policy_overrides(args),
         base_seed=args.seed,
         cache=_cache(args),
+        earlystop=earlystop,
     )
     ids = args.services or watchdog.catalog.heatmap_ids()
     backend = None
@@ -275,6 +306,7 @@ def cmd_cycle(args) -> int:
             cache=watchdog.cache,
             catalog=watchdog.catalog,
             env=watchdog.env,
+            earlystop=earlystop,
         )
     watchdog.run_cycle(
         service_ids=ids, parallel_workers=args.workers, backend=backend
@@ -286,6 +318,15 @@ def cmd_cycle(args) -> int:
             trials_run=stats.trials_run,
             cache_hits=stats.cache_hits,
             wall_clock_sec=round(stats.wall_clock_sec, 2),
+        )
+    if stats is not None and (stats.trials_truncated or stats.trials_audited):
+        rate = stats.audit_mispredict_rate
+        print(
+            f"earlystop: {stats.trials_truncated} trials truncated, "
+            f"{stats.sim_sec_saved:.1f} sim-seconds saved; "
+            f"{stats.trials_audited} audited full-length"
+            + (f", mispredict rate {rate:.2%}" if rate is not None else ""),
+            file=sys.stderr,
         )
     report = watchdog.report(_network(args), service_ids=ids)
     if args.json:
@@ -361,6 +402,82 @@ def cmd_bench(args) -> int:
             for regression in regressions:
                 print(f"  {regression}", file=sys.stderr)
             return 1
+    return 0
+
+
+def cmd_earlystop_fit(args) -> int:
+    """Train the early-termination stop rule from a cached corpus.
+
+    Reads full-length flight-recorded trials (``<key>.flight.json``
+    sidecars next to their cache entries - warm one with
+    ``fleet run-shard --record-flight`` or any flight-recorded run),
+    calibrates the threshold rule offline against their final
+    throughput shares, and writes the versioned model artifact that
+    ``--earlystop`` flags consume.
+    """
+    from .core.earlystop import fit_model
+
+    cache = TrialCache(args.cache_dir)
+    corpus = []
+    window_usec = 0
+    skipped_truncated = 0
+    for key in cache.sidecar_keys("flight"):
+        payload = cache.payload_for(key)
+        if payload is None:
+            continue
+        if (payload.get("earlystop") or {}).get("truncated"):
+            skipped_truncated += 1  # only full trials are ground truth
+            continue
+        flight = cache.get_sidecar(key, "flight")
+        if flight is None:
+            continue
+        corpus.append((flight, payload["throughput_bps"]))
+        window_usec = max(window_usec, int(payload["duration_usec"]))
+    if not corpus:
+        print(
+            f"no full-length flight-recorded trials in {args.cache_dir}; "
+            "warm a cache with a flight-recorded run first "
+            "(e.g. 'repro fleet run-shard ... --record-flight')",
+            file=sys.stderr,
+        )
+        return 1
+    grid_usec = (
+        int(args.grid_ms * 1000) if args.grid_ms is not None else None
+    )
+    if grid_usec is None:
+        times = corpus[0][0].get("queue", {}).get("times_usec", [])
+        grid_usec = times[1] - times[0] if len(times) > 1 else 100_000
+    model = fit_model(
+        corpus,
+        grid_usec=grid_usec,
+        window_usec=window_usec,
+        target_share_error=args.target_share_error,
+        target_mispredict_rate=args.target_mispredict_rate,
+    )
+    model.save(args.out)
+    summary = {
+        "model_id": model.model_id,
+        "trained_on": model.trained_on,
+        "skipped_truncated": skipped_truncated,
+        "grid_usec": model.grid_usec,
+        "min_horizon_usec": model.min_horizon_usec,
+        "epsilon_share": model.epsilon_share,
+        "consecutive": model.consecutive,
+        "out": str(args.out),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=1))
+        return 0
+    print(
+        f"fit model {model.model_id} from {model.trained_on} full-length "
+        f"trial(s) ({skipped_truncated} truncated skipped) -> {args.out}"
+    )
+    print(
+        f"  grid {model.grid_usec / 1000:.0f} ms, min horizon "
+        f"{model.min_horizon_usec / 1e6:.1f} s, epsilon_share "
+        f"{model.epsilon_share}, consecutive {model.consecutive}, "
+        f"drop burst {model.max_drop_burst}"
+    )
     return 0
 
 
@@ -450,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("service_b")
     _add_common(p)
     _add_runner_args(p)
+    _add_earlystop_args(p)
     p.set_defaults(func=cmd_pair)
 
     p = sub.add_parser("cycle", help="run an all-pairs watchdog cycle")
@@ -482,7 +600,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_runner_args(p)
+    _add_earlystop_args(p)
     p.set_defaults(func=cmd_cycle)
+
+    p = sub.add_parser(
+        "earlystop",
+        help="trial-level early termination: train the stop-rule model",
+    )
+    earlystop_sub = p.add_subparsers(dest="earlystop_command", required=True)
+    p = earlystop_sub.add_parser(
+        "fit", help="calibrate the stop rule from a cached trial corpus"
+    )
+    p.add_argument(
+        "--cache-dir", required=True,
+        help="cache directory holding full-length flight-recorded trials",
+    )
+    p.add_argument(
+        "--out", required=True, metavar="MODEL.json",
+        help="where to write the versioned model artifact",
+    )
+    p.add_argument(
+        "--grid-ms", type=float, default=None,
+        help="checkpoint grid in milliseconds (default: the corpus's "
+             "flight sample spacing)",
+    )
+    p.add_argument(
+        "--target-share-error", type=float, default=0.05,
+        help="max tolerated |predicted - final| throughput share "
+             "(default: 0.05)",
+    )
+    p.add_argument(
+        "--target-mispredict-rate", type=float, default=0.0,
+        help="max tolerated fraction of corpus trials mispredicted "
+             "(default: 0 - the rule must be right on every trial)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_earlystop_fit)
 
     p = sub.add_parser(
         "bench", help="run the netsim hot-path benchmark suite"

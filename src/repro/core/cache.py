@@ -47,6 +47,19 @@ CACHE_SCHEMA_VERSION = 1
 _KEY_HEX_LENGTH = 64  # sha256 hexdigest
 
 
+def _completeness(payload: Dict) -> "tuple[int, int]":
+    """Supersede rank of a cached payload: full > longer > shorter.
+
+    Full-length results (no ``earlystop`` block, or an audit block with
+    ``truncated: false``) outrank any truncation; among truncated
+    results the longer simulated horizon wins.
+    """
+    meta = payload.get("earlystop")
+    if not meta or not meta.get("truncated"):
+        return (1, 0)
+    return (0, int(payload.get("duration_usec", 0)))
+
+
 def is_cache_key(text: str) -> bool:
     """True when ``text`` has the shape of a trial cache key."""
     if len(text) != _KEY_HEX_LENGTH:
@@ -115,9 +128,19 @@ class TrialCache:
     # ------------------------------------------------------------------
 
     def get(
-        self, spec: "TrialSpec", env: Optional[ClientEnvironment] = None
+        self,
+        spec: "TrialSpec",
+        env: Optional[ClientEnvironment] = None,
+        allow_truncated: bool = False,
     ) -> Optional[ExperimentResult]:
-        """The cached result for this trial, or ``None`` on a miss."""
+        """The cached result for this trial, or ``None`` on a miss.
+
+        Early-terminated entries (``earlystop.truncated``; see
+        :mod:`repro.core.earlystop`) only count as hits when the caller
+        opts in with ``allow_truncated`` - a run without the feature
+        treats them as misses, re-simulates full-length, and the
+        resulting :meth:`put` supersedes the truncated entry.
+        """
         key = trial_cache_key(spec, env)
         payload = self._memory.get(key)
         if payload is None and self.cache_dir is not None:
@@ -125,6 +148,10 @@ class TrialCache:
             if path.exists():
                 payload = json.loads(path.read_text())
                 self._memory[key] = payload
+        if payload is not None and not allow_truncated:
+            meta = payload.get("earlystop")
+            if meta and meta.get("truncated"):
+                payload = None
         if payload is None:
             self.misses += 1
             get_registry().counter("cache.misses").inc()
@@ -143,9 +170,25 @@ class TrialCache:
         result: ExperimentResult,
         env: Optional[ClientEnvironment] = None,
     ) -> None:
-        """Record one simulated trial under its content address."""
+        """Record one simulated trial under its content address.
+
+        Full-length results always supersede truncated ones: a put never
+        replaces an existing entry with a *less* complete result for the
+        same key (truncated over full, or a shorter truncation horizon
+        over a longer one).  Deterministic re-runs of equal completeness
+        rewrite the identical bytes, so last-writer-wins is safe there.
+        """
         key = trial_cache_key(spec, env)
         payload = result.to_json()
+        existing = self._memory.get(key)
+        if existing is None and self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                existing = json.loads(path.read_text())
+        if existing is not None and _completeness(payload) < _completeness(
+            existing
+        ):
+            return
         self._memory[key] = payload
         self.stores += 1
         registry = get_registry()
@@ -178,6 +221,8 @@ class TrialCache:
             get_registry().counter("cache.sidecar_bytes_written").inc(
                 len(encoded)
             )
+            if self.max_bytes is not None:
+                self.evict()
 
     def get_sidecar(self, key: str, name: str) -> Optional[Dict]:
         """The sidecar payload for ``key``, or ``None`` if absent."""
@@ -216,10 +261,19 @@ class TrialCache:
     # ------------------------------------------------------------------
 
     def size_bytes(self) -> int:
-        """Total size of the on-disk entries (0 for memory-only caches)."""
+        """Total on-disk footprint: entries *plus* their sidecars.
+
+        Sidecar files live in the same directory and count toward the
+        ``max_bytes`` cap - a flight recording can dwarf its entry, so
+        excluding them would let the directory exceed the cap unboundedly.
+        (Memory-only caches report 0.)
+        """
         if self.cache_dir is None:
             return 0
-        return sum(path.stat().st_size for path in self._entry_paths())
+        return sum(
+            path.stat().st_size
+            for path in self._entry_paths() + self._sidecar_paths()
+        )
 
     def evict(self, max_bytes: Optional[int] = None) -> List[str]:
         """Drop least-recently-used disk entries until the cache fits.
@@ -227,26 +281,52 @@ class TrialCache:
         ``max_bytes`` overrides the instance cap for this call.  Returns
         the evicted keys, oldest first.  Memory-only caches (and caches
         without a cap) evict nothing.
+
+        Sidecar bytes are charged to their owning entry: evicting an
+        entry drops its sidecars too, and both are credited against the
+        cap (and to ``cache.bytes_evicted``).  Sidecars whose entry has
+        not landed yet (a recording written mid-drain) form their own
+        evictable group keyed by the newest sidecar's mtime.
         """
         cap = self.max_bytes if max_bytes is None else max_bytes
         if cap is None or self.cache_dir is None:
             return []
+        sidecars: Dict[str, List[Path]] = {}
+        for path in self._sidecar_paths():
+            sidecars.setdefault(path.name[:_KEY_HEX_LENGTH], []).append(path)
         entries = []
         for path in self._entry_paths():
             stat = path.stat()
-            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
-        total = sum(size for _m, _n, _p, size in entries)
+            extra = sum(
+                p.stat().st_size for p in sidecars.pop(path.stem, [])
+            )
+            entries.append(
+                (stat.st_mtime_ns, path.name, path.stem, stat.st_size + extra)
+            )
+        for key, orphaned in sidecars.items():
+            stats = [p.stat() for p in orphaned]
+            entries.append(
+                (
+                    max(s.st_mtime_ns for s in stats),
+                    key,
+                    key,
+                    sum(s.st_size for s in stats),
+                )
+            )
+        total = sum(size for _m, _n, _k, size in entries)
         evicted: List[str] = []
         evicted_bytes = 0
-        for _mtime, _name, path, size in sorted(entries):
+        for _mtime, _name, key, size in sorted(entries):
             if total <= cap:
                 break
-            path.unlink()
-            self._memory.pop(path.stem, None)
-            self._drop_sidecars(path.stem)
+            entry_path = self._path(key)
+            if entry_path.exists():
+                entry_path.unlink()
+            self._memory.pop(key, None)
+            self._drop_sidecars(key)
             total -= size
             evicted_bytes += size
-            evicted.append(path.stem)
+            evicted.append(key)
         self.evictions += len(evicted)
         if evicted:
             registry = get_registry()
@@ -263,6 +343,21 @@ class TrialCache:
         if key in self._memory:
             return True
         return self.cache_dir is not None and self._path(key).exists()
+
+    def payload_for(self, key: str) -> Optional[Dict]:
+        """The raw cached payload for ``key``, or ``None`` if absent.
+
+        Offline consumers (e.g. ``repro earlystop fit``) read payloads
+        by key to pair entries with their sidecars without re-deriving
+        trial specs.
+        """
+        if key in self._memory:
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                return json.loads(path.read_text())
+        return None
 
     def keys(self) -> Iterator[str]:
         """Iterate every entry key (disk entries included)."""
@@ -305,6 +400,18 @@ class TrialCache:
             path
             for path in self.cache_dir.glob("*.json")
             if is_cache_key(path.stem)
+        )
+
+    def _sidecar_paths(self) -> List[Path]:
+        """The on-disk sidecar files (``<key>.<name>.json``)."""
+        if self.cache_dir is None:
+            return []
+        return sorted(
+            path
+            for path in self.cache_dir.glob("*.json")
+            if len(path.stem) > _KEY_HEX_LENGTH + 1
+            and path.stem[_KEY_HEX_LENGTH] == "."
+            and is_cache_key(path.stem[:_KEY_HEX_LENGTH])
         )
 
     def _path(self, key: str) -> Path:

@@ -59,11 +59,27 @@ class PairState:
     done: bool = False
     decision: Optional[PolicyDecision] = None
     throughputs_bps: Dict[str, List[float]] = field(default_factory=dict)
+    #: Trials in the series that early termination cut short
+    #: (repro.core.earlystop).  Their throughputs are windowed-rate
+    #: estimates over the truncated horizon.
+    trials_truncated: int = 0
 
-    def record_trial(self, throughputs_bps: Dict[str, float]) -> None:
-        """Append one trial's per-service throughputs to the state."""
+    def record_trial(
+        self, throughputs_bps: Dict[str, float], truncated: bool = False
+    ) -> None:
+        """Append one trial's per-service throughputs to the state.
+
+        ``truncated`` marks an early-terminated trial.  Its throughputs
+        are *windowed-rate estimates*: delivered bytes over the truncated
+        measurement horizon, the same delivered/elapsed estimator as a
+        full window, just over fewer seconds - so they enter the series
+        unscaled and the CI machinery treats them like any other sample
+        (the audit fraction bounds the estimator's bias).
+        """
         self.trials_done += 1
         self.trials_queued -= 1
+        if truncated:
+            self.trials_truncated += 1
         for service_id, value in throughputs_bps.items():
             self.throughputs_bps.setdefault(service_id, []).append(value)
 
@@ -80,7 +96,7 @@ class PairState:
 
     def to_json(self) -> Dict:
         """Strict-JSON snapshot of this pair's cumulative state."""
-        return {
+        payload = {
             "pair": list(self.pair),
             "trials_done": self.trials_done,
             "trials_queued": self.trials_queued,
@@ -94,6 +110,9 @@ class PairState:
                 for sid, series in self.throughputs_bps.items()
             },
         }
+        if self.trials_truncated:
+            payload["trials_truncated"] = self.trials_truncated
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict) -> "PairState":
@@ -113,6 +132,7 @@ class PairState:
                 sid: list(series)
                 for sid, series in payload.get("throughputs_bps", {}).items()
             },
+            trials_truncated=payload.get("trials_truncated", 0),
         )
 
 
@@ -185,7 +205,10 @@ class ConvergenceTracker:
     # ------------------------------------------------------------------
 
     def record_trial(
-        self, pair: PairKey, throughputs_bps: Dict[str, float]
+        self,
+        pair: PairKey,
+        throughputs_bps: Dict[str, float],
+        truncated: bool = False,
     ) -> Optional[PolicyDecision]:
         """Feed one executed trial's outcome into the tracker.
 
@@ -193,9 +216,11 @@ class ConvergenceTracker:
         cumulative series and either queues the next batch (still open)
         or retires the pair (converged, or unstable at the cap).  Returns
         the fresh decision at batch boundaries, else ``None``.
+        ``truncated`` samples are accepted as windowed-rate estimates
+        (see :meth:`PairState.record_trial`).
         """
         state = self.states[tuple(pair)]
-        state.record_trial(throughputs_bps)
+        state.record_trial(throughputs_bps, truncated=truncated)
         if state.trials_queued > 0:
             return None  # batch still draining
         decision = self.evaluate_pair(pair)

@@ -82,6 +82,12 @@ class ExperimentResult:
     service_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
     utilization: float = 0.0
     external_loss_fraction: float = 0.0
+    #: Early-termination annotation (repro.core.earlystop): present only
+    #: on truncated trials (``truncated: true``, ``horizon_sim_sec``,
+    #: ``model_id``) or audited full-length trials (``audit: true``,
+    #: ``mispredict``).  None - and absent from the JSON - otherwise, so
+    #: full-length results stay byte-identical to the seed schema.
+    earlystop: Optional[Dict] = None
 
     @property
     def valid(self) -> bool:
@@ -96,9 +102,14 @@ class ExperimentResult:
         """This service's measured throughput in Mbps."""
         return self.throughput_bps[service_id] / 1e6
 
+    @property
+    def truncated(self) -> bool:
+        """True when early termination cut this trial's window short."""
+        return bool(self.earlystop and self.earlystop.get("truncated"))
+
     def to_json(self) -> Dict:
         """Serialise to a JSON-compatible dict (artifact publication)."""
-        return {
+        payload = {
             "contender_id": self.contender_id,
             "incumbent_id": self.incumbent_id,
             "bandwidth_bps": self.bandwidth_bps,
@@ -114,6 +125,9 @@ class ExperimentResult:
             "utilization": self.utilization,
             "external_loss_fraction": self.external_loss_fraction,
         }
+        if self.earlystop is not None:
+            payload["earlystop"] = self.earlystop
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict) -> "ExperimentResult":
@@ -184,6 +198,7 @@ def run_trial_artifacts(
     cap_overrides: Optional[Sequence[Optional[float]]] = None,
     engine=None,
     flight=None,
+    earlystop=None,
 ) -> "tuple[ExperimentResult, Testbed]":
     """The single trial core: N services contend once through the testbed.
 
@@ -211,6 +226,7 @@ def run_trial_artifacts(
         trace_packets=trace_packets,
         engine=engine,
         flight=flight,
+        earlystop=earlystop,
     )
     if flight is not None:
         flight.meta.setdefault("service_ids", [spec.service_id for spec in specs])
@@ -268,6 +284,12 @@ def run_trial_artifacts(
         utilization=testbed.utilization(),
         external_loss_fraction=testbed.external_loss_fraction(),
     )
+    if earlystop is not None:
+        result.earlystop = earlystop.result_metadata(
+            planned_window_usec=config.measure_duration_usec,
+            window_usec=testbed.window_usec,
+            throughput_bps=throughput,
+        )
     return result, testbed
 
 
@@ -280,6 +302,7 @@ def run_service_specs(
     trace_packets: bool = False,
     cap_overrides: Optional[Sequence[Optional[float]]] = None,
     flight=None,
+    earlystop=None,
 ) -> ExperimentResult:
     """Result-only wrapper over :func:`run_trial_artifacts`."""
     result, _testbed = run_trial_artifacts(
@@ -291,6 +314,7 @@ def run_service_specs(
         trace_packets=trace_packets,
         cap_overrides=cap_overrides,
         flight=flight,
+        earlystop=earlystop,
     )
     return result
 

@@ -37,7 +37,8 @@ from ..config import ExperimentConfig, NetworkConfig
 from ..obs import tracing
 from ..obs.metrics import get_registry
 from ..services.catalog import ServiceCatalog
-from .cache import TrialCache
+from .cache import TrialCache, trial_cache_key
+from .earlystop import EarlyStopConfig, EarlyStopMonitor, audit_decision
 from .experiment import ExperimentResult, run_service_specs
 from .results import ResultStore
 
@@ -135,6 +136,7 @@ def run_trial(
     env: Optional[ClientEnvironment] = None,
     trace_packets: bool = False,
     flight=None,
+    earlystop: Optional[EarlyStopConfig] = None,
 ) -> ExperimentResult:
     """Execute one :class:`TrialSpec` - the single trial entry point.
 
@@ -142,12 +144,24 @@ def run_trial(
     omitted) and runs the N-way core; per-service seeds follow
     :func:`~repro.core.experiment.derive_service_seed`, so pair trials are
     bit-identical to the historic ``run_pair_experiment`` path.
+
+    With an ``earlystop`` config, each trial gets a fresh monitor; the
+    deterministic seed-hash audit draw (a pure function of the trial's
+    cache key) decides whether this trial runs full-length in audit mode.
     """
     if catalog is None:
         from ..services.catalog import default_catalog
 
         catalog = default_catalog()
     specs = [catalog.get(sid) for sid in spec.service_ids]
+    monitor = None
+    if earlystop is not None:
+        monitor = EarlyStopMonitor(
+            earlystop.model,
+            audit=audit_decision(
+                trial_cache_key(spec, env), earlystop.audit_fraction
+            ),
+        )
     with tracing.span(
         "trial.run",
         services="+".join(spec.service_ids),
@@ -161,6 +175,7 @@ def run_trial(
             env=env,
             trace_packets=trace_packets,
             flight=flight,
+            earlystop=monitor,
         )
 
 
@@ -195,11 +210,37 @@ class RunnerStats:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_clock_sec: float = 0.0
+    #: Early-termination counters (repro.core.earlystop); all zero - and
+    #: absent from the JSON - when the feature is off, keeping receipts
+    #: and reports byte-compatible with the seed schema.
+    trials_truncated: int = 0
+    sim_sec_saved: float = 0.0
+    trials_audited: int = 0
+    audit_mispredicts: int = 0
 
     @property
     def trials_total(self) -> int:
         """Trials requested: simulated plus served from cache."""
         return self.trials_run + self.cache_hits
+
+    @property
+    def audit_mispredict_rate(self) -> float:
+        """Fraction of audited full-length trials the rule mispredicted."""
+        if self.trials_audited == 0:
+            return 0.0
+        return self.audit_mispredicts / self.trials_audited
+
+    def record_earlystop(self, meta: Optional[Dict]) -> None:
+        """Fold one simulated result's ``earlystop`` block into counters."""
+        if not meta:
+            return
+        if meta.get("truncated"):
+            self.trials_truncated += 1
+            self.sim_sec_saved += float(meta.get("sim_sec_saved", 0.0))
+        elif meta.get("audit"):
+            self.trials_audited += 1
+            if meta.get("mispredict"):
+                self.audit_mispredicts += 1
 
     def merged_with(self, other: "RunnerStats") -> "RunnerStats":
         """Element-wise sum of two counter sets."""
@@ -208,16 +249,32 @@ class RunnerStats:
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
             wall_clock_sec=self.wall_clock_sec + other.wall_clock_sec,
+            trials_truncated=self.trials_truncated + other.trials_truncated,
+            sim_sec_saved=self.sim_sec_saved + other.sim_sec_saved,
+            trials_audited=self.trials_audited + other.trials_audited,
+            audit_mispredicts=self.audit_mispredicts
+            + other.audit_mispredicts,
         )
 
     def to_json(self) -> Dict:
         """Serialise the counters (report/receipt publication)."""
-        return {
+        payload = {
             "trials_run": self.trials_run,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "wall_clock_sec": self.wall_clock_sec,
         }
+        if (
+            self.trials_truncated
+            or self.trials_audited
+            or self.audit_mispredicts
+            or self.sim_sec_saved
+        ):
+            payload["trials_truncated"] = self.trials_truncated
+            payload["sim_sec_saved"] = round(self.sim_sec_saved, 6)
+            payload["trials_audited"] = self.trials_audited
+            payload["audit_mispredicts"] = self.audit_mispredicts
+        return payload
 
     @classmethod
     def from_json(cls, payload: Dict) -> "RunnerStats":
@@ -237,17 +294,31 @@ class ExecutionBackend:
     ``cache_only=True`` turns the backend into a pure replay device:
     every submitted trial must hit the cache, and any miss raises
     :class:`CacheMissError` instead of simulating.
+
+    ``earlystop`` arms every simulated trial with the stop-rule monitor
+    (see :mod:`repro.core.earlystop`); ``accept_truncated`` controls
+    whether truncated cache entries count as hits (defaults to True
+    exactly when earlystop is armed, so plain runs re-simulate
+    full-length and supersede truncations).
     """
 
     def __init__(
         self,
         cache: Optional[TrialCache] = None,
         cache_only: bool = False,
+        earlystop: Optional[EarlyStopConfig] = None,
+        accept_truncated: Optional[bool] = None,
     ) -> None:
         if cache_only and cache is None:
             raise ValueError("cache_only requires a cache")
         self.cache = cache
         self.cache_only = cache_only
+        self.earlystop = earlystop
+        self.accept_truncated = (
+            accept_truncated
+            if accept_truncated is not None
+            else earlystop is not None
+        )
         self.stats = RunnerStats()
         self._pending: List[TrialSpec] = []
 
@@ -275,7 +346,9 @@ class ExecutionBackend:
         with lookup as lookup_span:
             for index, spec in enumerate(trials):
                 cached = (
-                    self.cache.get(spec, env=env)
+                    self.cache.get(
+                        spec, env=env, allow_truncated=self.accept_truncated
+                    )
                     if self.cache is not None
                     else None
                 )
@@ -312,6 +385,7 @@ class ExecutionBackend:
             registry.histogram("runner.dispatch_sec").observe(elapsed)
             for (index, spec), result in zip(misses, fresh):
                 results[index] = result
+                self.stats.record_earlystop(result.earlystop)
                 if self.cache is not None:
                     self.cache.put(spec, result, env=env)
         assert all(r is not None for r in results)
@@ -357,15 +431,27 @@ class InlineBackend(ExecutionBackend):
         env: Optional[ClientEnvironment] = None,
         cache: Optional[TrialCache] = None,
         cache_only: bool = False,
+        earlystop: Optional[EarlyStopConfig] = None,
+        accept_truncated: Optional[bool] = None,
     ) -> None:
-        super().__init__(cache=cache, cache_only=cache_only)
+        super().__init__(
+            cache=cache,
+            cache_only=cache_only,
+            earlystop=earlystop,
+            accept_truncated=accept_truncated,
+        )
         self.catalog = catalog
         self.env = env
 
     def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
         """Run each trial sequentially in this process."""
         return [
-            run_trial(spec, catalog=self.catalog, env=self.env)
+            run_trial(
+                spec,
+                catalog=self.catalog,
+                env=self.env,
+                earlystop=self.earlystop,
+            )
             for spec in trials
         ]
 
@@ -397,8 +483,11 @@ class RecordingInlineBackend(InlineBackend):
         env: Optional[ClientEnvironment] = None,
         cache: Optional[TrialCache] = None,
         grid_usec: Optional[int] = None,
+        earlystop: Optional[EarlyStopConfig] = None,
     ) -> None:
-        super().__init__(catalog=catalog, env=env, cache=cache)
+        super().__init__(
+            catalog=catalog, env=env, cache=cache, earlystop=earlystop
+        )
         from ..obs.flight import DEFAULT_GRID_USEC
 
         self.grid_usec = grid_usec or DEFAULT_GRID_USEC
@@ -406,14 +495,17 @@ class RecordingInlineBackend(InlineBackend):
 
     def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
         from ..obs.flight import FlightRecorder
-        from .cache import trial_cache_key
 
         results: List[ExperimentResult] = []
         for spec in trials:
             recorder = FlightRecorder(self.grid_usec)
             results.append(
                 run_trial(
-                    spec, catalog=self.catalog, env=self.env, flight=recorder
+                    spec,
+                    catalog=self.catalog,
+                    env=self.env,
+                    flight=recorder,
+                    earlystop=self.earlystop,
                 )
             )
             key = trial_cache_key(spec, self.env)
@@ -431,11 +523,16 @@ def _resolve_catalog(catalog_factory: str) -> ServiceCatalog:
     return getattr(module, attr)()
 
 
-def _run_trial_json(args: Tuple[TrialSpec, str]) -> Dict:
+def _run_trial_json(args: Tuple[TrialSpec, str, Optional[Dict]]) -> Dict:
     """Pool-worker entry point: rebuild the catalog, run one trial."""
-    spec, catalog_factory = args
+    spec, catalog_factory, earlystop_json = args
     catalog = _resolve_catalog(catalog_factory)
-    return run_trial(spec, catalog=catalog).to_json()
+    earlystop = (
+        EarlyStopConfig.from_json(earlystop_json)
+        if earlystop_json is not None
+        else None
+    )
+    return run_trial(spec, catalog=catalog, earlystop=earlystop).to_json()
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -454,14 +551,20 @@ class ProcessPoolBackend(ExecutionBackend):
         max_workers: Optional[int] = None,
         catalog_factory: str = DEFAULT_CATALOG_FACTORY,
         cache: Optional[TrialCache] = None,
+        earlystop: Optional[EarlyStopConfig] = None,
     ) -> None:
-        super().__init__(cache=cache)
+        super().__init__(cache=cache, earlystop=earlystop)
         self.max_workers = max_workers
         self.catalog_factory = catalog_factory
 
     def _execute(self, trials: Sequence[TrialSpec]) -> List[ExperimentResult]:
         """Map trials over worker processes, preserving order."""
-        payload = [(spec, self.catalog_factory) for spec in trials]
+        earlystop_json = (
+            self.earlystop.to_json() if self.earlystop is not None else None
+        )
+        payload = [
+            (spec, self.catalog_factory, earlystop_json) for spec in trials
+        ]
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             raw = list(pool.map(_run_trial_json, payload))
         return [ExperimentResult.from_json(entry) for entry in raw]
@@ -488,8 +591,9 @@ class AsyncioBackend(ExecutionBackend):
         catalog: Optional[ServiceCatalog] = None,
         env: Optional[ClientEnvironment] = None,
         cache: Optional[TrialCache] = None,
+        earlystop: Optional[EarlyStopConfig] = None,
     ) -> None:
-        super().__init__(cache=cache)
+        super().__init__(cache=cache, earlystop=earlystop)
         self.max_concurrency = max_concurrency or self.DEFAULT_CONCURRENCY
         self.catalog = catalog
         self.env = env
@@ -506,7 +610,11 @@ class AsyncioBackend(ExecutionBackend):
         async def one(spec: TrialSpec) -> ExperimentResult:
             async with semaphore:
                 return await asyncio.to_thread(
-                    run_trial, spec, catalog=self.catalog, env=self.env
+                    run_trial,
+                    spec,
+                    catalog=self.catalog,
+                    env=self.env,
+                    earlystop=self.earlystop,
                 )
 
         return list(await asyncio.gather(*(one(spec) for spec in trials)))
@@ -526,6 +634,7 @@ def build_backend(
     cache: Optional[TrialCache] = None,
     catalog: Optional[ServiceCatalog] = None,
     env: Optional[ClientEnvironment] = None,
+    earlystop: Optional[EarlyStopConfig] = None,
 ) -> ExecutionBackend:
     """Construct an execution backend from CLI-ish knobs.
 
@@ -534,17 +643,27 @@ def build_backend(
     substrate directly, with ``workers`` bounding pool size / async
     concurrency.  The process pool rebuilds the default catalog by name,
     so ``catalog``/``env`` apply only to the in-process substrates.
+    ``earlystop`` arms every substrate's trials with the stop-rule
+    monitor (the pool ships the model JSON to its workers).
     """
     if kind is None:
         kind = "process" if workers else "inline"
     if kind == "process":
-        return ProcessPoolBackend(max_workers=workers, cache=cache)
+        return ProcessPoolBackend(
+            max_workers=workers, cache=cache, earlystop=earlystop
+        )
     if kind == "async":
         return AsyncioBackend(
-            max_concurrency=workers, catalog=catalog, env=env, cache=cache
+            max_concurrency=workers,
+            catalog=catalog,
+            env=env,
+            cache=cache,
+            earlystop=earlystop,
         )
     if kind == "inline":
-        return InlineBackend(catalog=catalog, env=env, cache=cache)
+        return InlineBackend(
+            catalog=catalog, env=env, cache=cache, earlystop=earlystop
+        )
     raise ValueError(
         f"unknown backend kind {kind!r}; choices: {BACKEND_KINDS}"
     )

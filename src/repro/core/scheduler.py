@@ -126,10 +126,19 @@ class RoundRobinScheduler:
         return self.tracker.seed_for(pair, trial_index)
 
     def record_result(
-        self, pair: PairKey, throughputs_bps: Dict[str, float]
+        self,
+        pair: PairKey,
+        throughputs_bps: Dict[str, float],
+        truncated: bool = False,
     ) -> Optional[PolicyDecision]:
-        """Feed one trial's outcome back; may re-queue or finish the pair."""
-        return self.tracker.record_trial(pair, throughputs_bps)
+        """Feed one trial's outcome back; may re-queue or finish the pair.
+
+        ``truncated`` marks an early-terminated trial (windowed-rate
+        estimate; see :meth:`ConvergenceTracker.record_trial`).
+        """
+        return self.tracker.record_trial(
+            pair, throughputs_bps, truncated=truncated
+        )
 
     def unstable_pairs(self) -> List[PairKey]:
         """Pairs that hit the trial cap without converging (Fig 10)."""

@@ -13,6 +13,7 @@ from .. import units
 from ..config import ExperimentConfig, NetworkConfig
 from ..netsim.topology import Dumbbell
 from ..services.base import Service
+from .earlystop import EarlyStopped
 
 
 class Testbed:
@@ -28,6 +29,7 @@ class Testbed:
         trace_packets: bool = False,
         engine=None,
         flight=None,
+        earlystop=None,
     ) -> None:
         self.network = network
         self.bell = Dumbbell(
@@ -37,6 +39,9 @@ class Testbed:
             # Arm the recorder before any service attaches, so every
             # connection created from here on registers its channel.
             flight.attach(self.bell.link)
+        self.earlystop = earlystop
+        if earlystop is not None:
+            earlystop.attach(self.bell.link)
         self.services: List[Service] = []
         self._window_start_usec: Optional[int] = None
         self._window_end_usec: Optional[int] = None
@@ -71,13 +76,21 @@ class Testbed:
         """
         self.bell.run(config.measure_start_usec)
         self.open_window()
-        self.bell.run(config.measure_end_usec)
+        try:
+            self.bell.run(config.measure_end_usec)
+        except EarlyStopped:
+            # The stop rule fired mid-window: the window simply closes
+            # at the truncation point and every windowed metric becomes
+            # a rate estimate over the shorter horizon (DESIGN §10).
+            pass
         self.close_window()
 
     def open_window(self) -> None:
         """Begin the measurement window: reset all windowed counters."""
         self._window_start_usec = self.bell.engine.now
         self.bell.link.reset_stats()
+        if self.earlystop is not None:
+            self.earlystop.window_opened(self._window_start_usec)
         for service in self.services:
             service.on_measure_start()
 

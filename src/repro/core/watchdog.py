@@ -56,6 +56,10 @@ class Prudentia:
         cache: content-addressed trial cache; repeated cycles, re-runs and
             re-queued batches skip trials already simulated under the same
             inputs.  Pass a :class:`TrialCache` or a cache directory path.
+        earlystop: optional :class:`~repro.core.earlystop.EarlyStopConfig`;
+            when set, every simulated trial is armed with the trial-level
+            early-termination monitor and truncated samples feed the
+            convergence tracker as windowed-rate estimates.
         heartbeat_path: when set, a JSON heartbeat file is atomically
             rewritten after every executed batch and at cycle boundaries
             (progress, ETA, staleness), so long ``run_continuously``
@@ -73,6 +77,7 @@ class Prudentia:
         base_seed: int = 0,
         cache: Optional[Union[TrialCache, Path, str]] = None,
         heartbeat_path: Optional[Union[Path, str]] = None,
+        earlystop=None,
     ) -> None:
         self.catalog = catalog or default_catalog()
         self.networks = list(
@@ -87,6 +92,7 @@ class Prudentia:
         if cache is not None and not isinstance(cache, TrialCache):
             cache = TrialCache(Path(cache))
         self.cache = cache
+        self.earlystop = earlystop
         self.store = ResultStore()
         self.calibrations: Dict[float, Dict[str, SoloCalibration]] = {}
         self.cycles_completed = 0
@@ -142,10 +148,15 @@ class Prudentia:
         """The execution backend one cycle dispatches through."""
         if parallel_workers:
             return ProcessPoolBackend(
-                max_workers=parallel_workers, cache=self.cache
+                max_workers=parallel_workers,
+                cache=self.cache,
+                earlystop=self.earlystop,
             )
         return InlineBackend(
-            catalog=self.catalog, env=self.env, cache=self.cache
+            catalog=self.catalog,
+            env=self.env,
+            cache=self.cache,
+            earlystop=self.earlystop,
         )
 
     def run_cycle(
@@ -207,7 +218,9 @@ class Prudentia:
                             if result.valid:
                                 self.store.add(result)
                             scheduler.record_result(
-                                spec.pair_key, result.throughput_bps
+                                spec.pair_key,
+                                result.throughput_bps,
+                                truncated=result.truncated,
                             )
                         round_span.set(trials=len(batch))
                     registry.gauge("planner.pairs_open").set(

@@ -108,6 +108,7 @@ class AdaptiveCycleState:
         policies: Sequence[TrialPolicyConfig],
         base_seed: int = 0,
         include_self_pairs: bool = True,
+        earlystop: Optional[Dict] = None,
     ) -> None:
         if len(policies) != len(networks):
             raise ValueError("need one trial policy per network")
@@ -117,6 +118,10 @@ class AdaptiveCycleState:
         self.policies = list(policies)
         self.base_seed = base_seed
         self.include_self_pairs = include_self_pairs
+        #: Optional earlystop config JSON (model artifact + audit
+        #: fraction); rides into every round's manifests and binds the
+        #: cycle identity (truncated samples change the recorded series).
+        self.earlystop = earlystop
         self.trackers: List[ConvergenceTracker] = [
             ConvergenceTracker.for_services(
                 self.service_ids,
@@ -138,6 +143,7 @@ class AdaptiveCycleState:
         policies: Optional[Sequence[TrialPolicyConfig]] = None,
         base_seed: int = 0,
         include_self_pairs: bool = True,
+        earlystop: Optional[Dict] = None,
     ) -> "AdaptiveCycleState":
         """New cycle state; policies default to the paper's per-setting
         CI thresholds (:func:`~repro.config.trial_policy_for`)."""
@@ -150,6 +156,7 @@ class AdaptiveCycleState:
             policies,
             base_seed=base_seed,
             include_self_pairs=include_self_pairs,
+            earlystop=earlystop,
         )
 
     # ------------------------------------------------------------------
@@ -174,6 +181,11 @@ class AdaptiveCycleState:
             "base_seed": self.base_seed,
             "include_self_pairs": self.include_self_pairs,
         }
+        if self.earlystop is not None:
+            # Truncated samples change the recorded series, so an armed
+            # cycle is a different cycle; omitted when disabled so
+            # pre-earlystop cycle ids are unchanged.
+            payload["earlystop"] = self.earlystop
         return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
@@ -248,7 +260,7 @@ class AdaptiveCycleState:
         )
 
     def _plan_params(self) -> Dict:
-        return {
+        params = {
             "service_ids": list(self.service_ids),
             "networks": [dataclasses.asdict(n) for n in self.networks],
             "config": dataclasses.asdict(self.config),
@@ -256,6 +268,9 @@ class AdaptiveCycleState:
             "include_self_pairs": self.include_self_pairs,
             "adaptive": True,
         }
+        if self.earlystop is not None:
+            params["earlystop"] = self.earlystop
+        return params
 
     # ------------------------------------------------------------------
     # Folding results back in
@@ -291,12 +306,19 @@ class AdaptiveCycleState:
             network_fingerprint(network): self.trackers[index]
             for index, network in enumerate(self.networks)
         }
-        backend = InlineBackend(catalog=catalog, cache=cache, cache_only=True)
+        backend = InlineBackend(
+            catalog=catalog,
+            cache=cache,
+            cache_only=True,
+            accept_truncated=self.earlystop is not None,
+        )
         results = backend.run([t.spec for t in plan.trials])
         for planned, result in zip(plan.trials, results):
             tracker = tracker_for[network_fingerprint(planned.spec.network)]
             tracker.record_trial(
-                planned.spec.pair_key, result.throughput_bps
+                planned.spec.pair_key,
+                result.throughput_bps,
+                truncated=result.truncated,
             )
         entry = {
             "round": self.round_index,
@@ -380,6 +402,11 @@ class AdaptiveCycleState:
             "round_index": self.round_index,
             "history": list(self.history),
             "trackers": [t.to_json() for t in self.trackers],
+            **(
+                {"earlystop": self.earlystop}
+                if self.earlystop is not None
+                else {}
+            ),
         }
 
     @classmethod
@@ -404,6 +431,7 @@ class AdaptiveCycleState:
             ],
             base_seed=payload["base_seed"],
             include_self_pairs=payload["include_self_pairs"],
+            earlystop=payload.get("earlystop"),
         )
         state.trackers = [
             ConvergenceTracker.from_json(entry)
@@ -467,7 +495,7 @@ class AdaptiveCycleState:
                     "max_trials_per_pair": tracker.policy.config.max_trials,
                 }
             )
-        return {
+        progress = {
             "kind": "adaptive-cycle-progress",
             "cycle_id": self.cycle_id,
             "done": self.done,
@@ -478,6 +506,31 @@ class AdaptiveCycleState:
             "networks": networks,
             "rounds": list(self.history),
         }
+        if self.earlystop is not None:
+            stats = [
+                entry["fleet_stats"]
+                for entry in self.history
+                if "fleet_stats" in entry
+            ]
+            audited = sum(s.get("trials_audited", 0) for s in stats)
+            mispredicts = sum(s.get("audit_mispredicts", 0) for s in stats)
+            progress["earlystop"] = {
+                "model_id": (self.earlystop.get("model") or {}).get(
+                    "model_id"
+                ),
+                "trials_truncated": sum(
+                    s.get("trials_truncated", 0) for s in stats
+                ),
+                "sim_sec_saved": round(
+                    sum(s.get("sim_sec_saved", 0.0) for s in stats), 3
+                ),
+                "trials_audited": audited,
+                "audit_mispredicts": mispredicts,
+                "audit_mispredict_rate": (
+                    round(mispredicts / audited, 4) if audited else None
+                ),
+            }
+        return progress
 
     def render_progress(self) -> str:
         """Per-round convergence progress for ``fleet status``."""
@@ -523,6 +576,7 @@ def run_adaptive_cycle(
     max_retries: int = 2,
     max_rounds: Optional[int] = None,
     stall_sec: float = DEFAULT_STALL_SEC,
+    earlystop: Optional[Dict] = None,
 ) -> AdaptiveCycleState:
     """Drive one adaptive fleet cycle to convergence.
 
@@ -539,6 +593,12 @@ def run_adaptive_cycle(
     directories; a shard still missing afterwards fails the cycle.
     ``dispatch`` substitutes the transport (default: in-process
     :func:`run_shard`); it receives ``(manifest dict, cache dir)``.
+
+    ``earlystop`` (config JSON: model artifact + audit fraction) arms
+    every round's trials with the trial-level early-termination monitor
+    - manifests carry the block, workers honour it, the merge resolves
+    truncated-vs-full duplicates, and fold feeds truncated samples to
+    the trackers as windowed-rate estimates.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -549,6 +609,7 @@ def run_adaptive_cycle(
         policies=policies,
         base_seed=base_seed,
         include_self_pairs=include_self_pairs,
+        earlystop=earlystop,
     )
     cache_dir = out / "cache"
     registry = get_registry()

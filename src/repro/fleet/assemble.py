@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 from ..core.cache import TrialCache
 from ..core.report import FairnessReport
 from ..core.results import ResultStore
-from ..core.runner import InlineBackend, RunnerStats
+from ..core.runner import CacheMissError, InlineBackend, RunnerStats
 from ..core.sweep import SweepPoint, aggregate_pair_results
 from ..obs import tracing
 from ..services.catalog import ServiceCatalog
@@ -40,6 +40,12 @@ def assemble_store(
     matching the watchdog's hygiene rule), the assembly
     :class:`RunnerStats`, and the raw per-trial results in plan order
     (sweep aggregation needs them positionally).
+
+    A plan whose params carry an ``earlystop`` block was executed with
+    trial-level early termination armed, so its cache legitimately holds
+    truncated entries - the replay accepts them (their windowed-rate
+    estimates ARE the cycle's measurements).  Unarmed plans keep the
+    strict rule: a truncated entry is a miss, and a miss aborts.
     """
     with tracing.span(
         "report.assemble", plan_kind=plan.kind, trials=len(plan.trials)
@@ -56,14 +62,22 @@ def assemble_store(
                 f"planned trials ({preview}) - merge all shards before "
                 "assembling"
             )
-        backend = InlineBackend(catalog=catalog, cache=cache)
-        results = backend.run([t.spec for t in plan.trials])
-        if backend.stats.trials_run != 0:
+        armed = (plan.params or {}).get("earlystop") is not None
+        backend = InlineBackend(
+            catalog=catalog,
+            cache=cache,
+            cache_only=True,
+            accept_truncated=True if armed else None,
+        )
+        try:
+            results = backend.run([t.spec for t in plan.trials])
+        except CacheMissError as exc:
             raise FleetError(
-                f"assembly simulated {backend.stats.trials_run} trials - "
-                "cache entries disappeared mid-assembly (concurrent "
-                "eviction?); aborting rather than publish mixed provenance"
-            )
+                f"assembly would have to simulate {len(exc.misses)} "
+                "trial(s) - entries are truncated (early-terminated) or "
+                "disappeared mid-assembly; aborting rather than publish "
+                "mixed provenance"
+            ) from exc
         store = ResultStore()
         store.extend(results, valid_only=True)
         return store, backend.stats, results

@@ -65,6 +65,28 @@ def _config(args) -> ExperimentConfig:
     return ExperimentConfig().scaled(args.duration)
 
 
+def _earlystop(args):
+    """Earlystop config JSON from ``--earlystop`` knobs, or ``None``."""
+    if getattr(args, "earlystop", None) is None:
+        return None
+    from ..core.earlystop import EarlyStopConfig, EarlyStopModel
+
+    model = EarlyStopModel.load(args.earlystop)
+    return EarlyStopConfig(
+        model=model, audit_fraction=args.earlystop_audit
+    ).to_json()
+
+
+def _add_earlystop_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--earlystop", default=None, metavar="MODEL.json",
+                   help="arm trial-level early termination with this "
+                        "model artifact (train one with "
+                        "'repro earlystop fit')")
+    p.add_argument("--earlystop-audit", type=float, default=0.05,
+                   help="fraction of armed trials audited at full length "
+                        "to measure the mispredict rate (default: 0.05)")
+
+
 def cmd_fleet_plan(args) -> int:
     """Write plan.json + per-shard manifests for a cycle or sweep."""
     if args.plan_kind == "cycle":
@@ -77,6 +99,7 @@ def cmd_fleet_plan(args) -> int:
             num_shards=args.shards,
             base_seed=args.seed,
             include_self_pairs=not args.no_self_pairs,
+            earlystop=_earlystop(args),
         )
     else:
         values = [float(v) for v in args.values.split(",")]
@@ -125,6 +148,13 @@ def cmd_fleet_run_shard(args) -> int:
             f"  flight recordings: {len(receipt.flight_prefix)} trial(s) "
             "(full sidecars in the cache dir, prefixes in the receipt)"
         )
+    if stats.trials_truncated or stats.trials_audited:
+        print(
+            f"  earlystop: {stats.trials_truncated} truncated "
+            f"({stats.sim_sec_saved:.1f} sim-seconds saved), "
+            f"{stats.trials_audited} audited full-length, "
+            f"{stats.audit_mispredicts} mispredicted"
+        )
     return 0
 
 
@@ -145,6 +175,13 @@ def cmd_fleet_merge(args) -> int:
         f"{report.stats.trials_run} trials in "
         f"{report.stats.wall_clock_sec:.1f}s)"
     )
+    if report.superseded_entries:
+        print(
+            f"  resolved {report.superseded_entries} truncated-vs-full "
+            "duplicate entr"
+            f"{'y' if report.superseded_entries == 1 else 'ies'} "
+            "(full-length wins)"
+        )
     for index, stats in sorted(report.per_shard_stats.items()):
         print(
             f"  shard {index}: {stats.trials_run} simulated, "
@@ -240,6 +277,7 @@ def cmd_fleet_cycle(args) -> int:
         backend_kind=args.backend,
         workers=args.workers,
         max_retries=args.max_retries,
+        earlystop=_earlystop(args),
     )
     summary = {
         "cycle_id": state.cycle_id,
@@ -254,10 +292,21 @@ def cmd_fleet_cycle(args) -> int:
         ],
         "out_dir": str(args.out_dir),
     }
+    earlystop_rollup = state.progress_json().get("earlystop")
+    if earlystop_rollup is not None:
+        summary["earlystop"] = earlystop_rollup
     if args.json:
         print(json.dumps(summary, indent=1))
         return 0
     print(state.render_progress())
+    if earlystop_rollup is not None:
+        rate = earlystop_rollup["audit_mispredict_rate"]
+        print(
+            f"earlystop: {earlystop_rollup['trials_truncated']} trials "
+            f"truncated, {earlystop_rollup['sim_sec_saved']:.1f} "
+            f"sim-seconds saved"
+            + (f", mispredict rate {rate:.2%}" if rate is not None else "")
+        )
     print(
         f"converged in {state.round_index} round(s): "
         f"{state.trials_done_total()} trials run, "
@@ -360,6 +409,7 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--services", nargs="*", default=None)
     p.add_argument("--no-self-pairs", action="store_true")
     add_plan_common(p)
+    _add_earlystop_args(p)
     p.set_defaults(func=_wrap(cmd_fleet_plan))
 
     p = plan_sub.add_parser("sweep", help="pair parameter sweep")
@@ -471,6 +521,7 @@ def register(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--max-retries", type=int, default=2,
                    help="receipt-recovery re-dispatches per shard per "
                         "round (default: 2)")
+    _add_earlystop_args(p)
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable cycle summary")
     p.set_defaults(func=_wrap(cmd_fleet_cycle))

@@ -7,7 +7,11 @@ single-host run or silently is not - so it verifies everything it can:
   (plan-id match) at *this* cache schema version (skew rejected);
 - entries present in several shards must be byte-identical (the
   simulator is deterministic - divergent duplicates mean version skew or
-  a corrupted transfer, never legitimate data);
+  a corrupted transfer, never legitimate data).  The one sanctioned
+  exception is early termination (:mod:`repro.core.earlystop`): a
+  truncated trial and its full-length sibling share a cache key by
+  design, and the merge resolves that pair with the cache's own
+  supersede rule - full-length wins, longer horizon breaks ties;
 - the union is diffed against the plan's expected key set: gaps
   (planned-but-missing trials) fail the merge unless explicitly allowed,
   and extras (unplanned entries, e.g. from a pre-warmed shared cache)
@@ -22,9 +26,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.cache import CACHE_SCHEMA_VERSION, is_cache_key
+from ..core.cache import CACHE_SCHEMA_VERSION, _completeness, is_cache_key
 from ..core.runner import RunnerStats
 from ..obs.metrics import merge_snapshots
 from .plan import FleetError, FleetPlan
@@ -42,7 +46,9 @@ class MergeReport:
     attempt wins - see :func:`merge_shards`; ``superseded_receipts``
     counts the losers).  ``metrics`` unions the receipts'
     :mod:`repro.obs` snapshots, so shard-level telemetry survives the
-    merge instead of being dropped.
+    merge instead of being dropped.  ``superseded_entries`` counts
+    divergent duplicate *entries* resolved by the earlystop completeness
+    rule (full-length supersedes truncated).
     """
 
     shards: int = 0
@@ -51,6 +57,7 @@ class MergeReport:
     gaps: List[str] = field(default_factory=list)
     extras: int = 0
     superseded_receipts: int = 0
+    superseded_entries: int = 0
     stats: RunnerStats = field(default_factory=RunnerStats)
     per_shard_stats: Dict[int, RunnerStats] = field(default_factory=dict)
     metrics: Dict = field(default_factory=dict)
@@ -64,6 +71,7 @@ class MergeReport:
             "gaps": list(self.gaps),
             "extras": self.extras,
             "superseded_receipts": self.superseded_receipts,
+            "superseded_entries": self.superseded_entries,
             "stats": self.stats.to_json(),
             "per_shard_stats": {
                 str(index): stats.to_json()
@@ -79,6 +87,37 @@ def _shard_entries(shard_dir: Path) -> List[Path]:
         for path in shard_dir.glob("*.json")
         if is_cache_key(path.stem)
     )
+
+
+def _resolve_divergent(challenger: bytes, incumbent: bytes) -> Optional[str]:
+    """Adjudicate a byte-divergent duplicate entry, or refuse to.
+
+    Early termination is the one way two runs of a deterministic trial
+    legitimately produce different bytes under one cache key: a shard
+    that ran with the monitor armed wrote a truncated result, another
+    (or an audit trial) wrote the full-length one.  Both payloads must
+    parse and differ *in completeness* (full beats truncated, longer
+    truncated horizon beats shorter - :func:`repro.core.cache._completeness`);
+    anything else is real divergence and stays a hard error.  Returns
+    ``"replace"`` / ``"keep"``, or ``None`` when the conflict is not an
+    earlystop supersede.
+    """
+    try:
+        challenger_payload = json.loads(challenger)
+        incumbent_payload = json.loads(incumbent)
+    except ValueError:
+        return None
+    challenger_rank = _completeness(challenger_payload)
+    incumbent_rank = _completeness(incumbent_payload)
+    if challenger_rank == incumbent_rank:
+        return None
+    if not (
+        challenger_payload.get("earlystop") or incumbent_payload.get("earlystop")
+    ):
+        # Neither side was early-terminated: a completeness gap without
+        # an earlystop block means genuinely different trials collided.
+        return None
+    return "replace" if challenger_rank > incumbent_rank else "keep"
 
 
 def _supersedes(challenger: ShardReceipt, incumbent: ShardReceipt) -> bool:
@@ -112,8 +151,10 @@ def merge_shards(
     """Union shard cache directories into ``dest_dir`` for this plan.
 
     Raises :class:`FleetError` on receipt/plan/schema mismatch, on
-    divergent duplicate entries, and (unless ``allow_gaps``) when the
-    union does not cover every key the plan expects.  ``dest_dir`` may
+    divergent duplicate entries (except truncated-vs-full earlystop
+    pairs, which resolve to the more complete payload), and (unless
+    ``allow_gaps``) when the union does not cover every key the plan
+    expects.  ``dest_dir`` may
     be pre-populated (e.g. merging additional shards later); existing
     byte-identical entries count as duplicates.
     """
@@ -166,13 +207,20 @@ def merge_shards(
             data = entry.read_bytes()
             target = dest / entry.name
             if target.exists():
-                if target.read_bytes() != data:
-                    raise FleetError(
-                        f"divergent duplicate for key {entry.stem[:12]}... "
-                        f"({entry} vs {target}) - deterministic trials "
-                        "cannot legitimately differ; suspect version skew "
-                        "or corruption"
-                    )
+                existing = target.read_bytes()
+                if existing != data:
+                    verdict = _resolve_divergent(data, existing)
+                    if verdict is None:
+                        raise FleetError(
+                            f"divergent duplicate for key "
+                            f"{entry.stem[:12]}... ({entry} vs {target}) - "
+                            "deterministic trials cannot legitimately "
+                            "differ; suspect version skew or corruption"
+                        )
+                    if verdict == "replace":
+                        target.write_bytes(data)
+                    report.superseded_entries += 1
+                    continue
                 report.duplicates += 1
                 continue
             target.write_bytes(data)

@@ -288,6 +288,13 @@ class FleetPlan:
             ),
             "trials": [spec_to_json(t.spec, t.cache_key) for t in owned],
         }
+        # The early-termination model artifact travels with every shard
+        # manifest so workers arm identical monitors (plan identity is
+        # untouched: params are not part of plan_id, and two plans over
+        # the same keys merge cleanly either way because full-length
+        # results supersede truncated ones).
+        if "earlystop" in self.params:
+            manifest["earlystop"] = self.params["earlystop"]
         if self.cycle_id is not None:
             manifest["cycle"] = {
                 "id": self.cycle_id,
@@ -352,6 +359,7 @@ def plan_cycle(
     num_shards: int,
     base_seed: int = 0,
     include_self_pairs: bool = True,
+    earlystop: Optional[Dict] = None,
 ) -> FleetPlan:
     """Plan one all-pairs watchdog cycle as a shardable trial matrix.
 
@@ -360,6 +368,10 @@ def plan_cycle(
     plan's specs, seeds, and round-robin order are identical to what
     ``Prudentia.run_cycle`` (cycle 0) would run - which is what lets the
     assembler rebuild a bit-identical report.
+
+    ``earlystop`` (an :class:`~repro.core.earlystop.EarlyStopConfig`
+    encoded via ``to_json``) rides in the plan params and every shard
+    manifest, so workers arm identical early-termination monitors.
     """
     if trials_per_pair < 1:
         raise ValueError("need at least one trial per pair")
@@ -380,6 +392,8 @@ def plan_cycle(
         "base_seed": base_seed,
         "include_self_pairs": include_self_pairs,
     }
+    if earlystop is not None:
+        params["earlystop"] = earlystop
     return FleetPlan("cycle", num_shards, _planned(specs, num_shards), params)
 
 

@@ -101,7 +101,10 @@ class FleetStatus:
         ``None`` until at least one receipt exists.  Sums the receipts'
         :class:`RunnerStats` counters, unions their metrics snapshots
         (:func:`~repro.obs.metrics.merge_snapshots`), counts
-        flight-recorded trials, and reports the youngest receipt's age -
+        flight-recorded trials, rolls up the earlystop counters (trials
+        truncated, sim-seconds saved, audited mispredict rate - ``None``
+        until an audit trial has run), and reports the youngest
+        receipt's age -
         the fleet-side half of the observability rollup (the service
         side lives in ``repro service status``).
         """
@@ -115,6 +118,10 @@ class FleetStatus:
             for s in self.shards
             if s.receipt is not None and s.age_sec is not None
         ]
+        trials_audited = sum(r.stats.trials_audited for r in receipts)
+        audit_mispredicts = sum(
+            r.stats.audit_mispredicts for r in receipts
+        )
         return {
             "receipts": len(receipts),
             "trials_folded": sum(len(r.completed_keys) for r in receipts),
@@ -128,6 +135,19 @@ class FleetStatus:
                 len(r.flight_prefix)
                 for r in receipts
                 if r.flight_prefix is not None
+            ),
+            "trials_truncated": sum(
+                r.stats.trials_truncated for r in receipts
+            ),
+            "sim_sec_saved": round(
+                sum(r.stats.sim_sec_saved for r in receipts), 3
+            ),
+            "trials_audited": trials_audited,
+            "audit_mispredicts": audit_mispredicts,
+            "audit_mispredict_rate": (
+                round(audit_mispredicts / trials_audited, 4)
+                if trials_audited
+                else None
             ),
             "newest_receipt_age_sec": (
                 round(min(ages), 1) if ages else None
@@ -196,6 +216,19 @@ class FleetStatus:
             if age is not None:
                 line += f"; newest receipt {age:.0f}s old"
             lines.append(line)
+            if telemetry["trials_truncated"] or telemetry["trials_audited"]:
+                rate = telemetry["audit_mispredict_rate"]
+                lines.append(
+                    f"earlystop: {telemetry['trials_truncated']} trials "
+                    f"truncated, {telemetry['sim_sec_saved']:.1f} "
+                    f"sim-seconds saved; {telemetry['trials_audited']} "
+                    "audited full-length"
+                    + (
+                        f", mispredict rate {rate:.2%}"
+                        if rate is not None
+                        else ""
+                    )
+                )
         if self.foreign_dirs:
             lines.append(
                 f"ignored {len(self.foreign_dirs)} unrelated "

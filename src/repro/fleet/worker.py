@@ -150,6 +150,12 @@ def run_shard(
     points per trial so the merge sees diagnosis features without the
     sidecars.  Recording forces the inline backend, so it conflicts with
     an explicit ``backend``/``backend_kind``.
+
+    A manifest carrying an ``earlystop`` block (the model artifact plus
+    audit fraction; see :mod:`repro.core.earlystop`) arms every simulated
+    trial with the trial-level early-termination monitor; the receipt's
+    ``stats`` then report trials truncated, sim-seconds saved, and the
+    audited mispredict counters.
     """
     if not isinstance(manifest, dict):
         manifest = load_manifest(manifest)
@@ -172,6 +178,12 @@ def run_shard(
             )
         specs.append(spec)
     cache = TrialCache(Path(cache_dir), max_bytes=cache_max_bytes)
+    earlystop = None
+    earlystop_json = manifest.get("earlystop")
+    if earlystop_json is not None:
+        from ..core.earlystop import EarlyStopConfig
+
+        earlystop = EarlyStopConfig.from_json(earlystop_json)
     recording_backend = None
     if record_flight:
         if backend is not None or backend_kind is not None:
@@ -181,12 +193,20 @@ def run_shard(
             )
         from ..core.runner import RecordingInlineBackend
 
-        recording_backend = RecordingInlineBackend(cache=cache)
+        recording_backend = RecordingInlineBackend(
+            cache=cache, earlystop=earlystop
+        )
         backend = recording_backend
     if backend is None:
-        backend = build_backend(backend_kind, workers, cache=cache)
-    elif backend.cache is None:
-        backend.cache = cache
+        backend = build_backend(
+            backend_kind, workers, cache=cache, earlystop=earlystop
+        )
+    else:
+        if backend.cache is None:
+            backend.cache = cache
+        if earlystop is not None and backend.earlystop is None:
+            backend.earlystop = earlystop
+            backend.accept_truncated = True
     metrics_before = get_registry().snapshot()
     with tracing.span(
         "shard.run",

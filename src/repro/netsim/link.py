@@ -47,10 +47,12 @@ class BottleneckLink:
         "delivered_bytes",
         "busy_usec",
         "flight",
+        "earlystop",
         "_busy",
         "_last_busy_start",
         "_ser_usec",
         "_flight_next",
+        "_earlystop_next",
     )
 
     def __init__(
@@ -77,6 +79,11 @@ class BottleneckLink:
         # path to one integer compare.
         self.flight = None
         self._flight_next = FLIGHT_NEVER
+        # Early-stop gate (see repro.core.earlystop): same shape as the
+        # flight gate - armed by EarlyStopMonitor.attach, one integer
+        # compare when disabled, zero events either way.
+        self.earlystop = None
+        self._earlystop_next = FLIGHT_NEVER
         # size_bytes -> serialisation time in usec.  One or two packet
         # sizes dominate any trial, so this is effectively a constant fold
         # of ``units.serialization_time_usec`` for the drain loop.
@@ -101,6 +108,8 @@ class BottleneckLink:
             log.maybe_sample(now, len(queue))
         if now >= self._flight_next:
             self._flight_next = self.flight.sample_queue(now, self)
+        if now >= self._earlystop_next:
+            self._earlystop_next = self.earlystop.checkpoint(now, self)
         if not accepted:
             packet.flow.on_packet_dropped(packet)
             return

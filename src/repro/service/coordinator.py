@@ -489,7 +489,13 @@ class WatchdogService:
                 skipped=True,
                 diagnosed=diagnosed,
             )
-        backend = InlineBackend(cache=cache, cache_only=True)
+        # accept_truncated: fleet caches may hold early-terminated
+        # trials (repro.core.earlystop); folding replays whatever the
+        # fleet measured, so truncated entries are valid results here,
+        # not misses.
+        backend = InlineBackend(
+            cache=cache, cache_only=True, accept_truncated=True
+        )
         with tracing.span(
             "service.ingest", source=entry.name, trials=len(specs)
         ):
@@ -531,6 +537,20 @@ class WatchdogService:
         totals["cache_hits"] += backend.stats.cache_hits
         totals["trials_folded"] += len(record.results)
         totals["flight_diagnosed"] += diagnosed
+        truncated = [r for r in results if r.truncated]
+        if truncated:
+            # Earlystop keys appear only once a truncated trial has been
+            # folded, so pre-earlystop status payloads are unchanged.
+            totals["trials_truncated"] = (
+                totals.get("trials_truncated", 0) + len(truncated)
+            )
+            totals["sim_sec_saved"] = round(
+                totals.get("sim_sec_saved", 0.0)
+                + sum(
+                    r.earlystop.get("sim_sec_saved", 0.0) for r in truncated
+                ),
+                3,
+            )
         self._save_state()
         self._move_entry(entry, "done")
         registry = get_registry()
